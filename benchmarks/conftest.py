@@ -1,0 +1,43 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one paper table/figure at the scale in
+``REPRO_BENCH_SCALE`` (default ``default``; set ``tiny`` for a smoke run or
+``full`` for paper-scale traces).  Regenerated tables are printed to the
+terminal and archived under ``benchmarks/results/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def save_tables():
+    """Callable(name, tables): print and archive an experiment's tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name, tables):
+        text = "\n".join(table.to_ascii() for table in tables)
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+        return tables
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Time a single full run of ``fn`` (experiments are too slow for
+    multi-round calibration) and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

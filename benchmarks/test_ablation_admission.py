@@ -1,0 +1,24 @@
+"""Ablation — second-hit admission control (paper section 6 future work).
+
+A doorkeeper that refuses one-hit wonders reduces insertions (and hence
+evictions); on skewed traces it should not wreck the hit metrics.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_admission_ablation(benchmark, scale, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("ablation-admission", scale))
+    save_tables("ablation_admission", tables)
+    table = tables[0]
+    rows = {(row[0], row[1]): row for row in table.rows}
+    for policy in ("camp", "lru"):
+        baseline = rows[(policy, "none")]
+        doorkept = rows[(policy, "second-hit")]
+        # fewer evictions with admission control
+        assert doorkept[4] <= baseline[4]
+        # metrics stay within a sane band of the baseline
+        assert abs(doorkept[2] - baseline[2]) < 0.25

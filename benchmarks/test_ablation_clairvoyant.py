@@ -1,0 +1,57 @@
+"""Ablation — online policies vs clairvoyant baselines.
+
+Places CAMP on the LRU↔OPT spectrum: Belady's MIN (recency-optimal,
+cost-blind) and the cost-aware offline greedy bound what any online
+policy could achieve.  The competitive-ratio story (GDS is k-competitive,
+CAMP (1+ε)k) predicts CAMP lands between LRU and the clairvoyant greedy
+on the cost metric — measured here.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Table
+from repro.core import (
+    BeladyPolicy,
+    CampPolicy,
+    LruPolicy,
+    OfflineGreedyPolicy,
+)
+from repro.experiments.data import get_scale, primary_trace
+from repro.sim import run_policy_on_trace
+
+
+def run_clairvoyant(scale):
+    config = get_scale(scale)
+    trace = primary_trace(scale)
+    table = Table(
+        "Ablation — online vs clairvoyant (primary trace)",
+        ["cache_size_ratio", "lru_cost", "camp_cost", "offline_greedy_cost",
+         "lru_miss", "camp_miss", "belady_miss"])
+    for ratio in config.cache_ratios:
+        lru = run_policy_on_trace(LruPolicy(), trace, ratio)
+        camp = run_policy_on_trace(CampPolicy(precision=5), trace, ratio)
+        greedy = run_policy_on_trace(OfflineGreedyPolicy.from_trace(trace),
+                                     trace, ratio)
+        belady = run_policy_on_trace(BeladyPolicy.from_trace(trace),
+                                     trace, ratio)
+        table.add_row(ratio, lru.cost_miss_ratio, camp.cost_miss_ratio,
+                      greedy.cost_miss_ratio, lru.miss_rate, camp.miss_rate,
+                      belady.miss_rate)
+    return [table]
+
+
+def test_clairvoyant_ablation(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_clairvoyant(scale))
+    save_tables("ablation_clairvoyant", tables)
+    table = tables[0]
+    lru_cost = table.column("lru_cost")
+    camp_cost = table.column("camp_cost")
+    greedy_cost = table.column("offline_greedy_cost")
+    # CAMP sits between LRU and the clairvoyant cost-aware bound
+    assert all(c < l for c, l in zip(camp_cost, lru_cost))
+    wins = sum(g <= c + 1e-9 for g, c in zip(greedy_cost, camp_cost))
+    assert wins >= len(camp_cost) - 1
+    # Belady's miss rate lower-bounds the recency policies' miss rates
+    belady_miss = table.column("belady_miss")
+    lru_miss = table.column("lru_miss")
+    assert all(b <= l + 1e-9 for b, l in zip(belady_miss, lru_miss))

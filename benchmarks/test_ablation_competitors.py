@@ -1,0 +1,29 @@
+"""Ablation — CAMP vs GD-Wheel vs GDSF (section 5's closest relatives).
+
+GD-Wheel approximates the same Greedy Dual priorities with cost wheels, so
+its cost-miss ratio should land near CAMP's and well below LRU's; GDSF
+adds frequency and also beats LRU on cost.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_competitor_ablation(benchmark, scale, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("ablation-competitors", scale))
+    save_tables("ablation_competitors", tables)
+    table = tables[0]
+    camp = table.column("camp(p=5)")
+    wheel = table.column("gd-wheel")
+    gdsf = table.column("gdsf")
+    lru = table.column("lru")
+    # every cost-aware policy beats LRU on most cache sizes
+    for series in (camp, wheel, gdsf):
+        wins = sum(s < l for s, l in zip(series, lru))
+        assert wins >= len(lru) - 1
+    # CAMP is never far behind GD-Wheel (the paper argues CAMP's rounding
+    # is the better-controlled approximation)
+    assert sum(c <= w * 1.5 + 1e-9 for c, w in zip(camp, wheel)) >= \
+        len(camp) - 1

@@ -1,0 +1,28 @@
+"""Ablation — CAMP's MSB-preserving rounding vs regular truncation.
+
+Table 1's point made quantitative: truncating a fixed number of low-order
+bits collapses small ratios to nothing (cheap pairs become
+indistinguishable) while barely rounding large ones.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_rounding_ablation(benchmark, scale, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("ablation-rounding", scale))
+    save_tables("ablation_rounding", tables)
+    table = tables[0]
+    msb = {row[1]: (row[2], row[3]) for row in table.rows
+           if row[0] == "camp-msb"}
+    regular = {row[1]: (row[2], row[3]) for row in table.rows
+               if row[0] == "regular"}
+    # MSB rounding's quality is precision-stable
+    msb_costs = [msb[p][1] for p in sorted(msb)]
+    assert max(msb_costs) - min(msb_costs) < 0.05
+    # heavy regular truncation collapses queue structure at high "precision"
+    # (here: number of dropped low bits) at least as much as MSB rounding
+    deepest = max(regular)
+    assert regular[deepest][0] <= msb[deepest][0]

@@ -1,0 +1,21 @@
+"""Ablation — hash-partitioned CAMP (section 4.1's vertical scaling).
+
+Sharding approximates single-instance CAMP: the cost-miss ratio should
+degrade only mildly as shards are added.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_sharding_ablation(benchmark, scale, save_tables):
+    tables = run_once(benchmark,
+                      lambda: run_experiment("ablation-sharding", scale))
+    save_tables("ablation_sharding", tables)
+    table = tables[0]
+    by_shards = {row[0]: row[2] for row in table.rows}   # cost-miss ratio
+    single = by_shards[1]
+    for shards, cost in by_shards.items():
+        assert cost <= single + 0.1, \
+            f"{shards} shards degraded cost-miss ratio to {cost:.4f}"

@@ -1,0 +1,20 @@
+"""Figure 5a — cost-miss ratio vs precision: flat curves, CAMP ≈ GDS."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5a(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("fig5a", scale))
+    save_tables("fig5a", tables)
+    table = tables[0]
+    for column_name in table.columns[1:]:
+        values = table.column(column_name)
+        # "almost no variation in cost-miss ratios for different precisions"
+        spread = max(values) - min(values)
+        assert spread < 0.05, f"{column_name}: spread {spread:.4f}"
+        # "almost no difference between CAMP and standard GDS" — the last
+        # row is the no-rounding (GDS-equivalent) configuration
+        gds_value = values[-1]
+        assert abs(values[0] - gds_value) < 0.05

@@ -1,0 +1,39 @@
+"""Figures 5c/5d — the headline comparison on the three-cost trace.
+
+5c (cost-miss ratio): CAMP < cost-partitioned Pooled LRU < LRU at every
+cache size; uniform-partitioned Pooled LRU ≈ LRU; Pooled-cost approaches
+CAMP as the cache grows.
+5d (miss rate): cost-partitioned Pooled LRU is drastically worse than
+everyone (its cheap pool never hits), and stays bad even at large caches.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5cd(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("fig5cd", scale))
+    save_tables("fig5cd", tables)
+    cost_table, miss_table = tables
+
+    camp = cost_table.column("camp(p=5)")
+    lru = cost_table.column("lru")
+    pooled_cost = cost_table.column("pooled-cost")
+    pooled_uniform = cost_table.column("pooled-uniform")
+
+    # 5c orderings
+    assert all(c < l for c, l in zip(camp, lru)), "CAMP must beat LRU"
+    assert all(c <= p for c, p in zip(camp, pooled_cost)), \
+        "CAMP must beat the cost-partitioned oracle"
+    assert all(p < l for p, l in zip(pooled_cost, lru)), \
+        "cost partitioning must improve on LRU"
+    # uniform pools track LRU closely
+    assert all(abs(u - l) < 0.08 for u, l in
+               zip(pooled_uniform, lru))
+
+    # 5d: the cost-partitioned pools pay with a far worse miss rate, and
+    # the penalty persists at the largest cache size
+    miss_pooled = miss_table.column("pooled-cost")
+    miss_lru = miss_table.column("lru")
+    assert miss_pooled[-1] > miss_lru[-1] + 0.2

@@ -1,0 +1,23 @@
+"""Figures 6a/6b — sweeps on the phased (evolving) trace.
+
+"The overall cost-miss ratio and miss rate trends remain the same as the
+results of Figure 5": CAMP keeps its cost-miss advantage over LRU under
+adversarial workload shifts.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig6ab(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("fig6ab", scale))
+    save_tables("fig6ab", tables)
+    cost_table, miss_table = tables
+    camp = cost_table.column("camp(p=5)")
+    lru = cost_table.column("lru")
+    wins = sum(c < l for c, l in zip(camp, lru))
+    assert wins >= len(camp) - 1, "CAMP must keep its Fig-5 cost advantage"
+    # miss rates all sane
+    for column_name in miss_table.columns[1:]:
+        assert all(0 <= v <= 1 for v in miss_table.column(column_name))

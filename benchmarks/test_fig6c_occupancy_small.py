@@ -1,0 +1,35 @@
+"""Figure 6c — TF1 cache occupancy over time, cache size ratio 0.25.
+
+Expected shape: LRU purges TF1 fastest; CAMP evicts most of TF1 promptly
+but holds a small high-ratio tail longer; all three eventually converge
+toward zero as later phases churn.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def _final(table, column):
+    return table.column(column)[-1]
+
+
+def _first_zero_index(values):
+    for i, v in enumerate(values):
+        if v == 0.0:
+            return i
+    return len(values)
+
+
+def test_fig6c(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("fig6c", scale))
+    save_tables("fig6c", tables)
+    table = tables[0]
+    lru = table.column("lru_tf1_fraction")
+    camp = table.column("camp(p=5)_tf1_fraction")
+    # LRU reaches zero no later than CAMP ("LRU is the quickest")
+    assert _first_zero_index(lru) <= _first_zero_index(camp)
+    # at this small cache everything is eventually purged (paper: CAMP's
+    # leftover tail is tiny, <2% of memory)
+    assert _final(table, "lru_tf1_fraction") == 0.0
+    assert _final(table, "camp(p=5)_tf1_fraction") <= 0.02

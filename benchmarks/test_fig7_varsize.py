@@ -1,0 +1,23 @@
+"""Figure 7 — variable sizes, constant cost: CAMP's size-awareness wins.
+
+Expected: CAMP's miss rate is below LRU's at every cache size (it keeps
+many small pairs instead of few large ones), and Pooled LRU — one pool,
+since there is one cost value — coincides with LRU.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig7(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("fig7", scale))
+    save_tables("fig7", tables)
+    table = tables[0]
+    camp = table.column("camp(p=5)")
+    lru = table.column("lru")
+    pooled = table.column("pooled(1 pool)")
+    assert all(c <= l for c, l in zip(camp, lru))
+    assert any(c < l for c, l in zip(camp, lru))
+    # single-pool Pooled LRU == LRU (same decisions, same metric)
+    assert all(abs(p - l) < 1e-9 for p, l in zip(pooled, lru))

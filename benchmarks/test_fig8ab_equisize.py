@@ -1,0 +1,31 @@
+"""Figures 8a/8b — equi-sized pairs, log-uniform costs.
+
+8a: CAMP has the best cost-miss ratio; the range-partitioned Pooled LRU is
+competitive at small caches but falls behind at large ones.
+8b: CAMP's miss rate is slightly *worse* than LRU's at limited memory —
+the deliberate price of favoring expensive pairs.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig8ab(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("fig8ab", scale))
+    save_tables("fig8ab", tables)
+    cost_table, miss_table = tables
+
+    camp_cost = cost_table.column("camp(p=5)")
+    lru_cost = cost_table.column("lru")
+    pooled_cost = cost_table.column("pooled-range")
+    # 8a: CAMP dominates on the cost metric
+    assert all(c <= l for c, l in zip(camp_cost, lru_cost))
+    assert all(c <= p for c, p in zip(camp_cost, pooled_cost))
+    # pooled partitioning hurts at the largest cache (vs LRU)
+    assert pooled_cost[-1] >= lru_cost[-1] or pooled_cost[-1] >= camp_cost[-1]
+
+    # 8b: CAMP trades some raw miss rate at limited memory
+    camp_miss = miss_table.column("camp(p=5)")
+    lru_miss = miss_table.column("lru")
+    assert camp_miss[0] >= lru_miss[0]

@@ -1,0 +1,26 @@
+"""Figure 8c — queue count vs precision across trace shapes.
+
+Expected: at high/infinite precision the equi-size/many-cost trace builds
+far more queues than the three-cost trace; aggressive rounding collapses
+both counts toward each other.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig8c(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("fig8c", scale))
+    save_tables("fig8c", tables)
+    table = tables[0]
+    equi = table.column("equisize_queues")
+    three = table.column("threecost_queues")
+    # at infinite precision (last row) the many-cost trace needs more queues
+    assert equi[-1] > three[-1]
+    # rounding shrinks the gap: the ratio at the lowest precision is smaller
+    gap_low = equi[0] - three[0]
+    gap_high = equi[-1] - three[-1]
+    assert gap_low < gap_high
+    # queue counts grow with precision for the many-cost trace
+    assert equi[-1] >= equi[0]

@@ -1,0 +1,34 @@
+"""Figures 9a/9b/9c — the Twemcache-like implementation study.
+
+9a: CAMP's cost-miss ratio beats LRU's, most visibly at small caches.
+9b: CAMP's run time is comparable to LRU's (the paper's point is that the
+replacement bookkeeping adds no material overhead).
+9c: miss rate falls with cache size for both.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig9(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("fig9", scale))
+    save_tables("fig9", tables)
+    cost_table, time_table, miss_table = tables
+
+    lru_cost = cost_table.column("lru")
+    camp_cost = cost_table.column("camp(p=5)")
+    wins = sum(c <= l for c, l in zip(camp_cost, lru_cost))
+    assert wins >= len(camp_cost) - 1, "CAMP must win the cost metric"
+    # the advantage is largest at the smallest cache
+    assert camp_cost[0] < lru_cost[0]
+
+    # 9b: CAMP within 3x of LRU's wall time (paper: comparable; we allow
+    # slack for Python-level constant factors)
+    for ratio_overhead in time_table.column("camp_over_lru"):
+        assert ratio_overhead < 3.0
+
+    # 9c: monotone-ish decreasing miss rate with cache size for both
+    for name in ("lru", "camp(p=5)"):
+        series = miss_table.column(name)
+        assert series[-1] <= series[0]

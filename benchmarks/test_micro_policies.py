@@ -1,0 +1,85 @@
+"""Micro-benchmarks — per-operation cost of the policies themselves.
+
+The paper's efficiency argument is about constant factors: CAMP's hit path
+is an O(1) list move (plus rare heap updates) versus GDS's per-hit heap
+update.  These benchmarks time the raw policy event loop with the store
+and workload machinery stripped away, using multiple rounds for stable
+numbers (unlike the one-shot figure regenerations).
+"""
+
+import random
+
+import pytest
+
+from repro.core import CampPolicy, GdsPolicy, GdWheelPolicy, LruPolicy
+
+N_KEYS = 2_000
+RESIDENT = 500
+N_OPS = 20_000
+
+
+def build_workload(seed=17):
+    rng = random.Random(seed)
+    sizes = {k: rng.choice([512, 1024, 2048, 4096]) for k in range(N_KEYS)}
+    costs = {k: rng.choice([1, 100, 10_000]) for k in range(N_KEYS)}
+    requests = [min(int(rng.paretovariate(1.2)), N_KEYS - 1)
+                for _ in range(N_OPS)]
+    return sizes, costs, requests
+
+
+WORKLOAD = build_workload()
+
+
+def drive(policy):
+    sizes, costs, requests = WORKLOAD
+    for key_id in requests:
+        key = f"k{key_id}"
+        if key in policy:
+            policy.on_hit(key)
+        else:
+            while len(policy) >= RESIDENT:
+                policy.pop_victim()
+            policy.on_insert(key, sizes[key_id], costs[key_id])
+
+
+@pytest.mark.parametrize("factory,name", [
+    (lambda: LruPolicy(), "lru"),
+    (lambda: CampPolicy(precision=5), "camp-p5"),
+    (lambda: CampPolicy(precision=None), "camp-inf"),
+    (lambda: GdsPolicy(), "gds"),
+    (lambda: GdWheelPolicy(), "gd-wheel"),
+], ids=lambda p: p if isinstance(p, str) else "")
+def test_policy_event_loop(benchmark, factory, name):
+    benchmark.group = "policy event loop (20k skewed requests)"
+    benchmark.name = name
+    benchmark(lambda: drive(factory()))
+
+
+def test_camp_hit_path(benchmark):
+    """Pure hit processing: every request is resident (the O(1) claim)."""
+    benchmark.group = "hit path only"
+    policy = CampPolicy(precision=5)
+    for i in range(RESIDENT):
+        policy.on_insert(f"k{i}", 1024, 100)
+    keys = [f"k{i % RESIDENT}" for i in range(10_000)]
+
+    def hits():
+        for key in keys:
+            policy.on_hit(key)
+
+    benchmark(hits)
+
+
+def test_gds_hit_path(benchmark):
+    """GDS pays a heap update per hit — the contrast to CAMP above."""
+    benchmark.group = "hit path only"
+    policy = GdsPolicy()
+    for i in range(RESIDENT):
+        policy.on_insert(f"k{i}", 1024, 100)
+    keys = [f"k{i % RESIDENT}" for i in range(10_000)]
+
+    def hits():
+        for key in keys:
+            policy.on_hit(key)
+
+    benchmark(hits)

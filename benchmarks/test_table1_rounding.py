@@ -1,0 +1,28 @@
+"""Table 1 — CAMP's rounding scheme, plus a rounding micro-benchmark."""
+
+from conftest import run_once
+
+from repro.core import round_to_precision
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_experiment("table1", scale))
+    save_tables("table1", tables)
+    table = tables[0]
+    # the paper's exact values must reproduce
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    assert rows["101101011"] == ("101100000", "101100000")
+    assert rows["000001010"] == ("000000000", "000001010")
+
+
+def test_rounding_throughput(benchmark):
+    """Single-call latency of round_to_precision (it sits on CAMP's hot
+    path, once per insert/hit)."""
+    values = list(range(1, 100_000, 37))
+
+    def round_all():
+        for value in values:
+            round_to_precision(value, 5)
+
+    benchmark(round_all)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Tuning CAMP's one knob: the rounding precision.
+
+Precision `p` keeps the top `p` significant bits of each integerized
+cost-to-size ratio.  Proposition 3 bounds the damage — CAMP is
+(1+ε)k-competitive with ε = 2^(1-p) — and Figure 5a shows that in practice
+even tiny precisions lose almost nothing, while Figure 5b shows how the
+number of LRU queues (CAMP's bookkeeping overhead) grows with precision.
+This example sweeps p on one trace and prints both sides of the trade.
+
+Run:  python examples/precision_tuning.py
+"""
+
+from repro.core import CampPolicy, epsilon_for_precision
+from repro.sim import run_policy_on_trace
+from repro.workloads import equal_size_variable_cost_trace
+
+
+def main() -> None:
+    # equi-sized pairs with log-uniform costs: the many-distinct-ratio
+    # stress case of section 3.2 (worst case for queue counts)
+    trace = equal_size_variable_cost_trace(n_keys=2_000,
+                                           n_requests=40_000, seed=9)
+    ratio = 0.25
+    print(f"{len(trace)} requests, cache size ratio {ratio}\n")
+    header = (f"{'precision':>9} {'epsilon':>9} {'queues':>7} "
+              f"{'heap visits':>12} {'cost-miss':>10}")
+    print(header)
+    print("-" * len(header))
+    for precision in (1, 2, 3, 4, 5, 6, 8, 10, None):
+        policy = CampPolicy(precision=precision)
+        result = run_policy_on_trace(policy, trace, ratio)
+        label = "inf" if precision is None else str(precision)
+        eps = "-" if precision is None else \
+            f"{epsilon_for_precision(precision):.4f}"
+        print(f"{label:>9} {eps:>9} "
+              f"{result.policy_stats['queue_count']:>7} "
+              f"{result.policy_stats['heap_node_visits']:>12} "
+              f"{result.cost_miss_ratio:>10.4f}")
+    print("\nThe cost-miss ratio barely moves with precision (Figure 5a) "
+          "while queue count — and with it heap work — drops sharply at "
+          "low precision (Figures 5b/8c).  The paper runs p=5.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — a from-scratch reproduction of CAMP (Middleware 2014).
+
+CAMP (Cost Adaptive Multi-queue eviction Policy) approximates Greedy Dual
+Size with LRU-queue-per-rounded-ratio bookkeeping so that cache hits cost
+O(1) and evictions touch a heap whose size is the number of distinct rounded
+cost-to-size ratios rather than the number of resident items.
+
+Public surface (see README for a guided tour):
+
+* ``repro.core`` — CAMP, GDS and every baseline policy
+* ``repro.cache`` — the KVS simulator and metrics
+* ``repro.workloads`` — BG-like trace generation and trace IO
+* ``repro.sim`` — trace-driven simulation and parameter sweeps
+* ``repro.twemcache`` — slab-allocated key-value server (Section 4 study)
+* ``repro.experiments`` — one entry per paper table/figure
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    AllocationError,
+    CapacityError,
+    ClusterError,
+    ConfigurationError,
+    DuplicateKeyError,
+    EvictionError,
+    MissingKeyError,
+    ProtocolError,
+    ReproError,
+    TraceFormatError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "EvictionError",
+    "DuplicateKeyError",
+    "MissingKeyError",
+    "TraceFormatError",
+    "ProtocolError",
+    "AllocationError",
+    "ClusterError",
+]

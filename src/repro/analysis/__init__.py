@@ -1,0 +1,8 @@
+"""Result rendering (ASCII tables, CSV, terminal charts)."""
+
+from __future__ import annotations
+
+from repro.analysis.charts import ascii_chart
+from repro.analysis.tables import Table, format_number
+
+__all__ = ["Table", "format_number", "ascii_chart"]

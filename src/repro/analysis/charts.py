@@ -1,0 +1,79 @@
+"""Dependency-free ASCII line charts for experiment series.
+
+No plotting stack is available offline, so ``repro-camp run --chart``
+renders each figure's series as a character grid: one glyph per policy,
+x-axis = the sweep variable, y-axis = the metric.  Good enough to *see*
+the crossovers the paper's figures show without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_chart"]
+
+Number = Union[int, float]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(series: Dict[str, Sequence[Tuple[Number, Number]]],
+                title: str = "",
+                width: int = 60,
+                height: int = 16,
+                y_label: str = "",
+                x_label: str = "") -> str:
+    """Render named (x, y) series onto one character grid.
+
+    Points are scaled into the bounding box of all series; each series
+    draws with its own glyph; collisions show the later series' glyph.
+    """
+    if not series:
+        raise ConfigurationError("at least one series is required")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart needs width >= 10 and height >= 4")
+    points = [(float(x), float(y))
+              for values in series.values() for x, y in values]
+    if not points:
+        raise ConfigurationError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in values:
+            column = int((float(x) - x_lo) / x_span * (width - 1))
+            row = int((float(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][column] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}".rjust(8)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (margin + 1) +
+                     f"x: {x_label}   y: {y_label}".strip())
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines) + "\n"

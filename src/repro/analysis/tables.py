@@ -1,0 +1,78 @@
+"""ASCII tables and CSV export for experiment results.
+
+No plotting dependency is available offline, so every figure is rendered
+as the table of series the paper plots; EXPERIMENTS.md compares these rows
+against the published curves.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["Table", "format_number"]
+
+Cell = Union[int, float, str, None]
+
+
+def format_number(value: Cell, digits: int = 4) -> str:
+    """Human-friendly cell rendering ('-' for None, trimmed floats)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 0.0001:
+            return f"{value:.3e}"
+        return f"{value:.{digits}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+class Table:
+    """A titled grid with aligned ASCII rendering and CSV export."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[Cell]] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Cell]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_ascii(self) -> str:
+        rendered = [[format_number(cell) for cell in row] for row in self.rows]
+        widths = [len(col) for col in self.columns]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        header = "  ".join(col.ljust(widths[i])
+                           for i, col in enumerate(self.columns))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in rendered:
+            out.write("  ".join(cell.ljust(widths[i])
+                                for i, cell in enumerate(row)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join("" if cell is None else str(cell)
+                                  for cell in row))
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.to_ascii()

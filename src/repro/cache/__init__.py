@@ -1,0 +1,27 @@
+"""The KVS memory simulator, its metrics, and the hierarchical extension."""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import (LookupOutcome, MultiLevelCache,
+                                    TwoLevelCache)
+from repro.cache.kvs import KVS, CacheListener
+from repro.cache.metrics import (
+    OccupancyTracker,
+    PerNamespaceMetrics,
+    SimulationMetrics,
+    WindowedMetrics,
+    default_namespace,
+)
+
+__all__ = [
+    "KVS",
+    "CacheListener",
+    "SimulationMetrics",
+    "OccupancyTracker",
+    "WindowedMetrics",
+    "PerNamespaceMetrics",
+    "default_namespace",
+    "TwoLevelCache",
+    "MultiLevelCache",
+    "LookupOutcome",
+]

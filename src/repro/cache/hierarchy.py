@@ -1,0 +1,210 @@
+"""Two-level hierarchical cache — the paper's section 6 extension.
+
+"More longer term, we are extending CAMP for use with a hierarchical cache
+(using SSD, hard disk, or both) which may persist costly data items."
+
+:class:`TwoLevelCache` stacks a small, fast L1 (RAM) over a large, slower
+L2 (SSD).  L1 victims are *demoted* into L2 rather than dropped; an L2 hit
+*promotes* the pair back into L1.  Each level runs its own eviction policy
+(CAMP by default for both — "CAMP systematically renders such decisions by
+considering size and cost of key-value pairs ... with a two level cache").
+
+A promotion is charged ``l2_hit_cost_factor * cost`` (reading from SSD is
+cheaper than recomputing, but not free), which the hierarchical metrics in
+:meth:`lookup` surface to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.cache.kvs import KVS
+from repro.core.policy import EvictionPolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["TwoLevelCache", "MultiLevelCache", "LookupOutcome"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True, slots=True)
+class LookupOutcome:
+    """Where a request was served and what it cost."""
+
+    level: int          # 1 = L1 hit, 2 = L2 hit (promoted), 0 = miss
+    charged_cost: float  # 0 for L1 hits, discounted for L2, full for misses
+
+    @property
+    def hit(self) -> bool:
+        return self.level > 0
+
+
+class TwoLevelCache:
+    """An L1/L2 cache with demotion on eviction and promotion on L2 hit."""
+
+    def __init__(self,
+                 l1: KVS,
+                 l2: KVS,
+                 l2_hit_cost_factor: float = 0.1) -> None:
+        if not 0 <= l2_hit_cost_factor <= 1:
+            raise ConfigurationError(
+                f"l2_hit_cost_factor must be in [0, 1], got {l2_hit_cost_factor}")
+        self._l1 = l1
+        self._l2 = l2
+        self._factor = l2_hit_cost_factor
+        self._demotions = 0
+        self._promotions = 0
+        # capture L1 evictions for demotion via a listener
+        l1.add_listener(_DemotionListener(self))
+
+    # ------------------------------------------------------------------
+    @property
+    def l1(self) -> KVS:
+        return self._l1
+
+    @property
+    def l2(self) -> KVS:
+        return self._l2
+
+    @property
+    def demotions(self) -> int:
+        return self._demotions
+
+    @property
+    def promotions(self) -> int:
+        return self._promotions
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str, size: int, cost: Number) -> LookupOutcome:
+        """Serve one request read-through: L1, then L2, then 'compute'.
+
+        On a total miss the computed pair is inserted into L1 (demoting an
+        L1 victim into L2 if needed).  On an L2 hit the pair is promoted
+        into L1 and removed from L2.
+        """
+        if self._l1.get(key):
+            return LookupOutcome(level=1, charged_cost=0.0)
+        if key in self._l2:
+            self._l2.get(key)           # refresh L2 policy state
+            self._l2.delete(key)        # promote: move, don't duplicate
+            self._promotions += 1
+            self._l1.put(key, size, cost)
+            return LookupOutcome(level=2, charged_cost=self._factor * cost)
+        self._l1.put(key, size, cost)
+        return LookupOutcome(level=0, charged_cost=float(cost))
+
+    def resident_level(self, key: str) -> int:
+        """1, 2 or 0 for not resident (diagnostics)."""
+        if key in self._l1:
+            return 1
+        if key in self._l2:
+            return 2
+        return 0
+
+    def _demote(self, key: str, size: int, cost: Number) -> None:
+        self._demotions += 1
+        self._l2.put(key, size, cost)
+
+
+class _DemotionListener:
+    """Feeds L1 policy evictions (not explicit deletes) into L2."""
+
+    def __init__(self, owner: TwoLevelCache) -> None:
+        self._owner = owner
+
+    def on_insert(self, item) -> None:  # pragma: no cover - uninteresting
+        pass
+
+    def on_evict(self, item, explicit: bool) -> None:
+        if not explicit:
+            self._owner._demote(item.key, item.size, item.cost)
+
+
+class MultiLevelCache:
+    """An N-level cache hierarchy (RAM → SSD → disk → ...).
+
+    Generalizes :class:`TwoLevelCache` to any number of levels, each with
+    its own store and hit-cost factor ("using SSD, hard disk, or both" —
+    paper section 6).  Victims cascade downward level by level; a hit at
+    level ``i`` promotes the pair back to level 1 and charges
+    ``factors[i-1] * cost``.  Factors must increase with depth (deeper
+    media are slower) and stay below 1 (still cheaper than recomputing).
+    """
+
+    def __init__(self, stores: "list[KVS]",
+                 hit_cost_factors: "list[float]") -> None:
+        if len(stores) < 2:
+            raise ConfigurationError("a hierarchy needs at least two levels")
+        if len(hit_cost_factors) != len(stores):
+            raise ConfigurationError(
+                "need one hit-cost factor per level (level 1 usually 0)")
+        previous = -1.0
+        for factor in hit_cost_factors:
+            if not 0 <= factor <= 1:
+                raise ConfigurationError(
+                    f"hit-cost factors must be in [0, 1], got {factor}")
+            if factor < previous:
+                raise ConfigurationError(
+                    "hit-cost factors must be non-decreasing with depth")
+            previous = factor
+        self._stores = list(stores)
+        self._factors = list(hit_cost_factors)
+        self.promotions = 0
+        self.demotions = 0
+        # chain demotion listeners: level i evictions insert into level i+1
+        for upper_index in range(len(stores) - 1):
+            stores[upper_index].add_listener(
+                _CascadeListener(self, upper_index + 1))
+
+    @property
+    def levels(self) -> int:
+        return len(self._stores)
+
+    def store(self, level: int) -> KVS:
+        """The KVS at 1-based ``level``."""
+        if not 1 <= level <= len(self._stores):
+            raise ConfigurationError(f"no level {level}")
+        return self._stores[level - 1]
+
+    def resident_level(self, key: str) -> int:
+        for index, store in enumerate(self._stores, start=1):
+            if key in store:
+                return index
+        return 0
+
+    def lookup(self, key: str, size: int, cost: Number) -> LookupOutcome:
+        """Serve one request; hits promote to level 1, misses fill level 1."""
+        for index, store in enumerate(self._stores, start=1):
+            if key in store:
+                store.get(key)   # refresh that level's policy
+                if index > 1:
+                    store.delete(key)
+                    self.promotions += 1
+                    self._stores[0].put(key, size, cost)
+                return LookupOutcome(level=index,
+                                     charged_cost=self._factors[index - 1]
+                                     * cost)
+        self._stores[0].put(key, size, cost)
+        return LookupOutcome(level=0, charged_cost=float(cost))
+
+    def _demote(self, level_index: int, key: str, size: int,
+                cost: Number) -> None:
+        self.demotions += 1
+        self._stores[level_index].put(key, size, cost)
+
+
+class _CascadeListener:
+    """Feeds one level's policy evictions into the next level down."""
+
+    def __init__(self, owner: MultiLevelCache, below_index: int) -> None:
+        self._owner = owner
+        self._below_index = below_index
+
+    def on_insert(self, item) -> None:  # pragma: no cover - uninteresting
+        pass
+
+    def on_evict(self, item, explicit: bool) -> None:
+        if not explicit:
+            self._owner._demote(self._below_index, item.key, item.size,
+                                item.cost)

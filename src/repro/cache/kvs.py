@@ -1,0 +1,184 @@
+"""The KVS of the paper's simulator (section 3).
+
+"We implemented a simulator that consists of a KVS and a request generator
+... The KVS manages a fixed-size memory that implements either the LRU or
+the CAMP algorithm.  Every time the request generator references a key and
+the KVS reports a miss for its value, the request generator inserts the
+missing key-value pair in the KVS.  This results in evictions when the size
+of the incoming key-value pair is larger than the available free space."
+
+The store owns byte accounting; the policy owns victim selection.  Optional
+pieces: an admission controller (section 6 future work) and listeners (the
+occupancy tracker behind Figures 6c/6d subscribes to insert/evict events).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Union
+
+from repro.core.admission import AdmissionController
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import ConfigurationError, EvictionError
+
+__all__ = ["KVS", "CacheListener"]
+
+Number = Union[int, float]
+
+
+class CacheListener(Protocol):
+    """Observer of residency changes (used by metrics/occupancy trackers)."""
+
+    def on_insert(self, item: CacheItem) -> None: ...
+
+    def on_evict(self, item: CacheItem, explicit: bool) -> None: ...
+
+
+class KVS:
+    """A fixed-capacity key-value store with a pluggable eviction policy."""
+
+    def __init__(self,
+                 capacity: int,
+                 policy: EvictionPolicy,
+                 admission: Optional[AdmissionController] = None,
+                 item_overhead: int = 0) -> None:
+        """``capacity`` is in bytes.  ``item_overhead`` is charged on top of
+        every value's size (per-item metadata, like Twemcache's header)."""
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if item_overhead < 0:
+            raise ConfigurationError(
+                f"item_overhead must be >= 0, got {item_overhead}")
+        self._capacity = capacity
+        self._policy = policy
+        self._admission = admission
+        self._overhead = item_overhead
+        self._items: Dict[str, CacheItem] = {}
+        self._used = 0
+        self._listeners: List[CacheListener] = []
+        # counters
+        self._rejected_too_large = 0
+        self._rejected_admission = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: CacheListener) -> None:
+        self._listeners.append(listener)
+
+    def _notify_insert(self, item: CacheItem) -> None:
+        for listener in self._listeners:
+            listener.on_insert(item)
+
+    def _notify_evict(self, item: CacheItem, explicit: bool) -> None:
+        for listener in self._listeners:
+            listener.on_evict(item, explicit)
+
+    # ------------------------------------------------------------------
+    # the request interface used by the simulator
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bool:
+        """Look up a key; True on hit.  Hits refresh the policy state."""
+        if key in self._items:
+            self._policy.on_hit(key)
+            if self._admission is not None:
+                self._admission.on_access(key)
+            return True
+        return False
+
+    def put(self, key: str, size: int, cost: Number) -> bool:
+        """Insert a computed value (the request generator's insert-on-miss).
+
+        Returns True when the pair became resident.  Values that can never
+        fit (or that the admission controller declines) are rejected and the
+        store is left untouched.  An existing key is overwritten.
+        """
+        charged = size + self._overhead
+        item = CacheItem(key, charged, cost)
+        if key in self._items:
+            self.delete(key)
+        if charged > self._capacity or not self._policy.fits(item,
+                                                             self._capacity):
+            self._rejected_too_large += 1
+            return False
+        if self._admission is not None and not self._admission.admit(
+                key, size, cost):
+            self._rejected_admission += 1
+            return False
+        while self._policy.wants_eviction(item, self.free_bytes):
+            if not len(self._policy):
+                # nothing left to evict yet still no room: give up
+                self._rejected_too_large += 1
+                return False
+            victim_key = self._policy.pop_victim(item)
+            victim = self._items.pop(victim_key)
+            self._used -= victim.size
+            self._evictions += 1
+            self._notify_evict(victim, explicit=False)
+        self._policy.on_insert(key, charged, cost)
+        self._items[key] = item
+        self._used += charged
+        self._notify_insert(item)
+        return True
+
+    def delete(self, key: str) -> bool:
+        """Explicitly remove a key; True when it was resident."""
+        item = self._items.pop(key, None)
+        if item is None:
+            return False
+        self._policy.on_remove(key)
+        self._used -= item.size
+        self._notify_evict(item, explicit=True)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self._capacity - self._used
+
+    @property
+    def policy(self) -> EvictionPolicy:
+        return self._policy
+
+    @property
+    def eviction_count(self) -> int:
+        return self._evictions
+
+    @property
+    def rejected_too_large(self) -> int:
+        return self._rejected_too_large
+
+    @property
+    def rejected_admission(self) -> int:
+        return self._rejected_admission
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def resident_items(self) -> Iterable[CacheItem]:
+        return self._items.values()
+
+    def check_consistency(self) -> None:
+        """Verify byte accounting and store/policy agreement (test hook)."""
+        if sum(item.size for item in self._items.values()) != self._used:
+            raise EvictionError("byte accounting out of sync")
+        if self._used > self._capacity:
+            raise EvictionError("capacity exceeded")
+        if len(self._policy) != len(self._items):
+            raise EvictionError("policy and store disagree on residency")
+        for key in self._items:
+            if key not in self._policy:
+                raise EvictionError(f"policy lost track of {key!r}")

@@ -1,0 +1,251 @@
+"""Metrics of the paper's evaluation (section 3).
+
+*Miss rate* — misses / requests; *cost-miss ratio* — Σ cost of missed
+requests / Σ cost of all requests.  For both, "the first request to a
+particular key-value pair in the trace (called a cold request) is not
+counted because any algorithm will fault on such requests."
+
+:class:`OccupancyTracker` reproduces the y-axis of Figures 6c/6d — the
+fraction of KVS memory occupied by the key-value pairs of a given trace
+file — by subscribing to the store's insert/evict events and bucketing
+bytes by key namespace (``"tf1:..."`` → ``"tf1"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.policy import CacheItem
+from repro.errors import ConfigurationError
+
+__all__ = ["SimulationMetrics", "OccupancyTracker", "WindowedMetrics",
+           "PerNamespaceMetrics", "default_namespace"]
+
+Number = Union[int, float]
+
+
+@dataclass
+class SimulationMetrics:
+    """Request-stream counters with cold-request exclusion."""
+
+    requests: int = 0
+    cold_requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    cost_total: float = 0.0
+    cost_missed: float = 0.0
+    bytes_total: int = 0
+    bytes_missed: int = 0
+    _seen: Set[str] = field(default_factory=set, repr=False)
+
+    def record(self, key: str, size: int, cost: Number, hit: bool) -> None:
+        """Account one request.  Cold requests bump only ``cold_requests``."""
+        self.requests += 1
+        if key not in self._seen:
+            self._seen.add(key)
+            self.cold_requests += 1
+            return
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self.cost_missed += cost
+            self.bytes_missed += size
+        self.cost_total += cost
+        self.bytes_total += size
+
+    @property
+    def counted_requests(self) -> int:
+        """Requests that participate in the ratios (non-cold)."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / counted requests (0.0 when nothing counted)."""
+        counted = self.counted_requests
+        return self.misses / counted if counted else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.counted_requests else 0.0
+
+    @property
+    def cost_miss_ratio(self) -> float:
+        """Σ cost of missed / Σ cost of all counted requests."""
+        return self.cost_missed / self.cost_total if self.cost_total else 0.0
+
+    @property
+    def byte_miss_ratio(self) -> float:
+        """Σ bytes missed / Σ bytes of counted requests (bonus metric)."""
+        return self.bytes_missed / self.bytes_total if self.bytes_total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "cold_requests": self.cold_requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "cost_miss_ratio": self.cost_miss_ratio,
+            "byte_miss_ratio": self.byte_miss_ratio,
+        }
+
+
+def default_namespace(key: str) -> str:
+    """Namespace = text before the first ``:`` (e.g. ``tf1:k42`` → ``tf1``)."""
+    head, sep, _ = key.partition(":")
+    return head if sep else ""
+
+
+class OccupancyTracker:
+    """Bytes resident per key namespace, sampled over time (Figures 6c/6d)."""
+
+    def __init__(self,
+                 capacity: int,
+                 namespace_of: Callable[[str], str] = default_namespace
+                 ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._namespace_of = namespace_of
+        self._bytes: Dict[str, int] = {}
+        #: list of (request index, {namespace: fraction}) samples
+        self.samples: List[Tuple[int, Dict[str, float]]] = []
+
+    # CacheListener interface -------------------------------------------------
+    def on_insert(self, item: CacheItem) -> None:
+        namespace = self._namespace_of(item.key)
+        self._bytes[namespace] = self._bytes.get(namespace, 0) + item.size
+
+    def on_evict(self, item: CacheItem, explicit: bool) -> None:
+        namespace = self._namespace_of(item.key)
+        remaining = self._bytes.get(namespace, 0) - item.size
+        if remaining <= 0:
+            self._bytes.pop(namespace, None)
+        else:
+            self._bytes[namespace] = remaining
+
+    # sampling ----------------------------------------------------------------
+    def fraction(self, namespace: str) -> float:
+        """Fraction of the KVS capacity held by ``namespace`` right now."""
+        return self._bytes.get(namespace, 0) / self._capacity
+
+    def bytes_of(self, namespace: str) -> int:
+        return self._bytes.get(namespace, 0)
+
+    def namespaces(self) -> Dict[str, int]:
+        return dict(self._bytes)
+
+    def sample(self, request_index: int) -> None:
+        """Record a time-series point for all live namespaces."""
+        fractions = {ns: b / self._capacity for ns, b in self._bytes.items()}
+        self.samples.append((request_index, fractions))
+
+    def series(self, namespace: str) -> List[Tuple[int, float]]:
+        """The sampled (request index, fraction) series for one namespace."""
+        return [(index, fractions.get(namespace, 0.0))
+                for index, fractions in self.samples]
+
+
+class WindowedMetrics:
+    """Time series of miss rate / cost-miss ratio over request windows.
+
+    Complements :class:`SimulationMetrics` (whole-run aggregates) for
+    studying transients — e.g. the recovery spike after each phase switch
+    of the section 3.1 experiment.  Cold requests are excluded per window
+    with the same first-ever-request rule as the aggregate metrics.
+    """
+
+    def __init__(self, window: int = 10_000) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._seen: Set[str] = set()
+        self._count = 0
+        self._misses = 0
+        self._cost_total = 0.0
+        self._cost_missed = 0.0
+        #: list of (end request index, miss rate, cost-miss ratio)
+        self.windows: List[Tuple[int, float, float]] = []
+        #: counted (non-cold) requests per flushed window
+        self.window_counts: List[int] = []
+        self._requests = 0
+
+    def record(self, key: str, cost: Number, hit: bool) -> None:
+        self._requests += 1
+        if key not in self._seen:
+            self._seen.add(key)
+        else:
+            self._count += 1
+            self._cost_total += cost
+            if not hit:
+                self._misses += 1
+                self._cost_missed += cost
+        if self._requests % self._window == 0:
+            self._flush()
+
+    def _flush(self) -> None:
+        miss_rate = self._misses / self._count if self._count else 0.0
+        cost_ratio = (self._cost_missed / self._cost_total
+                      if self._cost_total else 0.0)
+        self.windows.append((self._requests, miss_rate, cost_ratio))
+        self.window_counts.append(self._count)
+        self._count = self._misses = 0
+        self._cost_total = self._cost_missed = 0.0
+
+    def finish(self) -> None:
+        """Flush a trailing partial window, if any."""
+        if self._requests % self._window:
+            self._flush()
+
+    def miss_rate_series(self) -> List[Tuple[int, float]]:
+        return [(index, miss) for index, miss, _ in self.windows]
+
+    def cost_miss_series(self) -> List[Tuple[int, float]]:
+        return [(index, cost) for index, _, cost in self.windows]
+
+
+class PerNamespaceMetrics:
+    """Aggregate metrics broken down by key namespace.
+
+    The paper's introduction motivates CAMP with two applications sharing
+    one cache (member profiles vs ML-computed ads); this recorder shows
+    what each application experiences: its own miss rate, cost-miss ratio
+    and recomputation spend.  Namespaces come from the same key-prefix
+    convention the occupancy tracker uses (``"ads:model7"`` → ``"ads"``).
+    """
+
+    def __init__(self,
+                 namespace_of: Callable[[str], str] = default_namespace
+                 ) -> None:
+        self._namespace_of = namespace_of
+        self._per_namespace: Dict[str, SimulationMetrics] = {}
+
+    def record(self, key: str, size: int, cost: Number, hit: bool) -> None:
+        namespace = self._namespace_of(key)
+        metrics = self._per_namespace.get(namespace)
+        if metrics is None:
+            metrics = SimulationMetrics()
+            self._per_namespace[namespace] = metrics
+        metrics.record(key, size, cost, hit)
+
+    def namespaces(self) -> List[str]:
+        return sorted(self._per_namespace)
+
+    def metrics(self, namespace: str) -> SimulationMetrics:
+        try:
+            return self._per_namespace[namespace]
+        except KeyError:
+            raise ConfigurationError(
+                f"no requests recorded for namespace {namespace!r}"
+            ) from None
+
+    def summary_rows(self) -> List[Tuple[str, int, float, float, float]]:
+        """(namespace, requests, miss rate, cost-miss ratio, cost missed)."""
+        rows = []
+        for namespace in self.namespaces():
+            metrics = self._per_namespace[namespace]
+            rows.append((namespace, metrics.requests, metrics.miss_rate,
+                         metrics.cost_miss_ratio, metrics.cost_missed))
+        return rows

@@ -1,0 +1,262 @@
+"""Command-line interface: ``repro-camp`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``list``        — show every runnable experiment with its paper reference
+* ``run``         — run experiments by id (``all`` for everything) at a
+  chosen scale, printing each table (optionally CSV)
+* ``gen-trace``   — write a synthetic trace file (three-cost / var-size /
+  equi-size / bg / phased)
+* ``simulate``    — run one policy over a trace file at a cache size ratio
+* ``serve``       — start the Twemcache-like server on a TCP port
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.core import make_policy, policy_names
+from repro.errors import ReproError
+from repro.sim import run_policy_on_trace
+from repro.workloads import (
+    BgConfig,
+    BgWorkload,
+    equal_size_variable_cost_trace,
+    phased_trace,
+    read_trace,
+    three_cost_trace,
+    variable_size_constant_cost_trace,
+    write_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-camp",
+        description="CAMP (Middleware 2014) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro-camp {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list available experiments")
+
+    run_cmd = sub.add_parser("run", help="run experiments")
+    run_cmd.add_argument("experiments", nargs="+",
+                         help="experiment ids (see 'list'), or 'all'")
+    run_cmd.add_argument("--scale", default="default",
+                         choices=("tiny", "default", "full"))
+    run_cmd.add_argument("--csv", action="store_true",
+                         help="emit CSV instead of aligned tables")
+    run_cmd.add_argument("--chart", action="store_true",
+                         help="also draw each table as an ASCII chart")
+
+    gen_cmd = sub.add_parser("gen-trace", help="generate a trace file")
+    gen_cmd.add_argument("kind", choices=("three-cost", "var-size",
+                                          "equi-size", "bg", "phased"))
+    gen_cmd.add_argument("output", help="output path (.csv or .csv.gz)")
+    gen_cmd.add_argument("--keys", type=int, default=5000)
+    gen_cmd.add_argument("--requests", type=int, default=100_000)
+    gen_cmd.add_argument("--phases", type=int, default=10)
+    gen_cmd.add_argument("--seed", type=int, default=42)
+
+    sim_cmd = sub.add_parser("simulate", help="simulate a policy on a trace")
+    sim_cmd.add_argument("trace", help="trace file path")
+    sim_cmd.add_argument("--policy", default="camp",
+                         choices=sorted(policy_names()))
+    sim_cmd.add_argument("--ratio", type=float, default=0.25,
+                         help="cache size ratio (default 0.25)")
+    sim_cmd.add_argument("--precision", type=int, default=None,
+                         help="CAMP precision (omit for the default of 5)")
+
+    serve_cmd = sub.add_parser("serve", help="start the twemcache server")
+    serve_cmd.add_argument("--port", type=int, default=11211)
+    serve_cmd.add_argument("--memory-mb", type=int, default=64)
+    serve_cmd.add_argument("--eviction", default="camp",
+                           choices=("lru", "camp"))
+
+    analyze_cmd = sub.add_parser(
+        "analyze", help="profile a trace (skew, sizes, costs, working set)")
+    analyze_cmd.add_argument("trace", help="trace file path")
+    analyze_cmd.add_argument("--working-set", action="store_true",
+                             help="also print the working-set growth curve")
+
+    compare_cmd = sub.add_parser(
+        "compare", help="run several policies over one trace, side by side")
+    compare_cmd.add_argument("trace", help="trace file path")
+    compare_cmd.add_argument("--policies", nargs="+",
+                             default=["camp", "lru", "gds"],
+                             choices=sorted(policy_names()))
+    compare_cmd.add_argument("--ratios", nargs="+", type=float,
+                             default=[0.05, 0.1, 0.25, 0.5])
+    compare_cmd.add_argument("--chart", action="store_true")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import list_experiments
+    for spec in list_experiments():
+        print(f"{spec.experiment_id:22s} {spec.paper_ref:15s} "
+              f"{spec.description}")
+    return 0
+
+
+def _cmd_run(experiment_ids: List[str], scale: str, csv: bool,
+             chart: bool) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+    if experiment_ids == ["all"]:
+        experiment_ids = sorted(EXPERIMENTS)
+    for experiment_id in experiment_ids:
+        for table in run_experiment(experiment_id, scale=scale):
+            if csv:
+                print(f"# {table.title}")
+                print(table.to_csv())
+            else:
+                print(table.to_ascii())
+            if chart:
+                _chart_table(table)
+    return 0
+
+
+def _chart_table(table) -> None:
+    """Best-effort chart: numeric first column = x, other numeric columns
+    become series; non-numeric tables are skipped silently."""
+    from repro.analysis import ascii_chart
+    xs = table.column(table.columns[0])
+    if not all(isinstance(x, (int, float)) for x in xs):
+        return
+    series = {}
+    for name in table.columns[1:]:
+        values = table.column(name)
+        if all(isinstance(v, (int, float)) for v in values):
+            series[name] = list(zip(xs, values))
+    if series:
+        print(ascii_chart(series, title=f"[chart] {table.title}",
+                          x_label=table.columns[0]))
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    if args.kind == "three-cost":
+        trace = three_cost_trace(n_keys=args.keys, n_requests=args.requests,
+                                 seed=args.seed)
+    elif args.kind == "var-size":
+        trace = variable_size_constant_cost_trace(
+            n_keys=args.keys, n_requests=args.requests, seed=args.seed)
+    elif args.kind == "equi-size":
+        trace = equal_size_variable_cost_trace(
+            n_keys=args.keys, n_requests=args.requests, seed=args.seed)
+    elif args.kind == "bg":
+        trace = BgWorkload(BgConfig(members=args.keys,
+                                    requests=args.requests,
+                                    seed=args.seed)).generate()
+    else:
+        trace = phased_trace(phases=args.phases, n_keys=args.keys,
+                             requests_per_phase=args.requests // args.phases,
+                             seed=args.seed)
+    rows = write_trace(trace, args.output)
+    print(f"wrote {rows} requests ({trace.unique_keys} unique keys, "
+          f"{trace.unique_bytes} unique bytes) to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    capacity = trace.capacity_for_ratio(args.ratio)
+    kwargs = {}
+    if args.policy == "camp" and args.precision is not None:
+        kwargs["precision"] = args.precision
+    policy = make_policy(args.policy, capacity, **kwargs)
+    result = run_policy_on_trace(policy, trace, args.ratio)
+    print(f"policy            : {args.policy}")
+    print(f"cache size ratio  : {args.ratio} ({capacity} bytes)")
+    print(f"requests          : {result.metrics.requests} "
+          f"({result.metrics.cold_requests} cold)")
+    print(f"miss rate         : {result.miss_rate:.4f}")
+    print(f"cost-miss ratio   : {result.cost_miss_ratio:.4f}")
+    print(f"evictions         : {result.evictions}")
+    print(f"wall seconds      : {result.wall_seconds:.3f}")
+    for name, value in sorted(result.policy_stats.items()):
+        print(f"  stat {name:20s}: {value}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.twemcache import TwemcacheEngine, TwemcacheServer
+    engine = TwemcacheEngine(args.memory_mb << 20, eviction=args.eviction)
+    server = TwemcacheServer(engine, port=args.port).start()
+    host, port = server.address
+    print(f"twemcache-like server ({args.eviction}) on {host}:{port}; "
+          f"Ctrl-C to stop")
+    try:
+        import time
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        server.stop()
+        print("stopped")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.workloads import profile_trace, working_set_curve
+    trace = read_trace(args.trace)
+    profile = profile_trace(trace)
+    for line in profile.lines():
+        print(line)
+    if args.working_set:
+        print("\nworking set growth (requests -> distinct bytes):")
+        for requests, distinct_bytes in working_set_curve(trace):
+            print(f"  {requests:>10}  {distinct_bytes}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import Table
+    from repro.sim import sweep_cache_sizes
+    trace = read_trace(args.trace)
+    factories = {name: (lambda capacity, _n=name: make_policy(_n, capacity))
+                 for name in args.policies}
+    sweep = sweep_cache_sizes(trace, factories, cache_size_ratios=args.ratios)
+    for metric in ("cost_miss_ratio", "miss_rate"):
+        table = Table(f"{metric} on {args.trace}",
+                      ["cache_size_ratio"] + list(args.policies))
+        for ratio in args.ratios:
+            table.add_row(ratio, *[getattr(sweep.lookup(name, ratio), metric)
+                                   for name in args.policies])
+        print(table.to_ascii())
+        if args.chart:
+            _chart_table(table)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiments, args.scale, args.csv,
+                            args.chart)
+        if args.command == "gen-trace":
+            return _cmd_gen_trace(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - unreachable
+
+
+if __name__ == "__main__":
+    sys.exit(main())

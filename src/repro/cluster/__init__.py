@@ -1,0 +1,8 @@
+"""Cooperative CAMP caching over a consistent-hash ring (section 6)."""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import CacheNode, CooperativeCluster
+from repro.cluster.hashring import HashRing
+
+__all__ = ["HashRing", "CacheNode", "CooperativeCluster"]

@@ -1,0 +1,194 @@
+"""Cooperative CAMP cluster — the KOSAR-flavored future-work extension.
+
+Section 6: "We are also investigating a decentralized CAMP in the context
+of a cooperative caching framework such as KOSAR.  A challenge here is how
+to maintain a last replica of a cached key-value pair without allowing
+those that are never accessed again to occupy the KVS indefinitely."
+
+Design reproduced here:
+
+* Each node is a CAMP-managed :class:`~repro.cache.kvs.KVS`; keys place on
+  a consistent-hash ring with ``replicas`` copies.
+* A directory (replica counts) is consulted at eviction time: evicting the
+  **last replica** of a pair grants it one *second chance* — the node
+  re-admits it once and marks it; a marked pair whose turn comes again is
+  evicted for good.  Hot pairs get re-replicated by later requests, so the
+  grace never protects a dead pair forever — the paper's stated challenge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Union
+
+from repro.cache.kvs import KVS
+from repro.cluster.hashring import HashRing
+from repro.core.camp import CampPolicy
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import ClusterError, ConfigurationError
+
+__all__ = ["CacheNode", "CooperativeCluster"]
+
+Number = Union[int, float]
+
+
+class _LastReplicaPolicy(EvictionPolicy):
+    """CAMP wrapper granting one reprieve to a pair's last cluster replica."""
+
+    name = "camp-last-replica"
+
+    def __init__(self, node_name: str, cluster: "CooperativeCluster",
+                 precision: Optional[int] = 5) -> None:
+        self._camp = CampPolicy(precision=precision)
+        self._node_name = node_name
+        self._cluster = cluster
+        self._spared: Set[str] = set()
+        # CAMP forgets size/cost once evicted; keep a copy for re-admits
+        self._pending_meta: Dict[str, tuple] = {}
+        self.reprieves = 0
+
+    # delegation ----------------------------------------------------------
+    def on_hit(self, key: str) -> None:
+        self._camp.on_hit(key)
+        self._spared.discard(key)   # renewed interest clears the mark
+
+    def on_insert(self, key: str, size: int, cost: Number) -> None:
+        self._camp.on_insert(key, size, cost)
+
+    def on_remove(self, key: str) -> None:
+        self._camp.on_remove(key)
+        self._spared.discard(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._camp
+
+    def __len__(self) -> int:
+        return len(self._camp)
+
+    def stats(self):
+        stats = self._camp.stats()
+        stats["reprieves"] = self.reprieves
+        return stats
+
+    # the interesting part --------------------------------------------------
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        for _ in range(len(self._camp) + 1):
+            victim = self._camp.pop_victim(incoming)
+            is_last = self._cluster._replica_count(victim) <= 1
+            if is_last and victim not in self._spared and len(self._camp):
+                # grace: re-admit at the tail of its queue, try the next one
+                self._spared.add(victim)
+                self.reprieves += 1
+                entry_item = self._victim_item(victim)
+                self._camp.on_insert(victim, entry_item[0], entry_item[1])
+                self._pending_meta.pop(victim, None)
+                continue
+            self._spared.discard(victim)
+            return victim
+        raise ClusterError("could not choose a victim")  # pragma: no cover
+
+    def note_meta(self, key: str, size: int, cost: Number) -> None:
+        self._pending_meta[key] = (size, cost)
+
+    def _victim_item(self, key: str) -> tuple:
+        return self._pending_meta.get(key, (1, 0))
+
+
+class CacheNode:
+    """One cluster member: a CAMP KVS plus the last-replica policy."""
+
+    def __init__(self, name: str, capacity: int, cluster: "CooperativeCluster",
+                 precision: Optional[int] = 5) -> None:
+        self.name = name
+        self.policy = _LastReplicaPolicy(name, cluster, precision=precision)
+        self.kvs = KVS(capacity, self.policy)
+
+    def get(self, key: str) -> bool:
+        return self.kvs.get(key)
+
+    def put(self, key: str, size: int, cost: Number) -> bool:
+        self.policy.note_meta(key, size, cost)
+        return self.kvs.put(key, size, cost)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.kvs
+
+
+class CooperativeCluster:
+    """A consistent-hash cluster of CAMP nodes with R replicas per key."""
+
+    def __init__(self, node_names: List[str], capacity_per_node: int,
+                 replicas: int = 2, precision: Optional[int] = 5,
+                 vnodes: int = 64) -> None:
+        if not node_names:
+            raise ConfigurationError("at least one node is required")
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        if len(set(node_names)) != len(node_names):
+            raise ConfigurationError("node names must be distinct")
+        self._ring = HashRing(vnodes=vnodes)
+        self._nodes: Dict[str, CacheNode] = {}
+        self._replicas = min(replicas, len(node_names))
+        for name in node_names:
+            self._ring.add_node(name)
+            self._nodes[name] = CacheNode(name, capacity_per_node, self,
+                                          precision=precision)
+        self.remote_hits = 0
+        self.local_hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def node(self, name: str) -> CacheNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ClusterError(f"unknown node {name!r}") from None
+
+    def nodes(self) -> List[CacheNode]:
+        return [self._nodes[name] for name in self._ring.nodes]
+
+    def _replica_count(self, key: str) -> int:
+        holders = self._ring.preference_list(key, self._replicas)
+        return sum(1 for name in holders if key in self._nodes[name])
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, size: int, cost: Number) -> str:
+        """Serve a request; returns "local", "remote" or "miss".
+
+        The primary node serves local hits.  On a primary miss, the other
+        replica holders are probed (a *remote* hit — cheaper than
+        recomputing, and the pair is re-replicated onto the primary).  A
+        full miss computes and inserts at every replica holder.
+        """
+        holders = self._ring.preference_list(key, self._replicas)
+        primary = self._nodes[holders[0]]
+        if primary.get(key):
+            self.local_hits += 1
+            return "local"
+        for other_name in holders[1:]:
+            other = self._nodes[other_name]
+            if other.get(key):
+                self.remote_hits += 1
+                primary.put(key, size, cost)   # re-replicate toward primary
+                return "remote"
+        self.misses += 1
+        for name in holders:
+            self._nodes[name].put(key, size, cost)
+        return "miss"
+
+    def resident_nodes(self, key: str) -> List[str]:
+        return [name for name, node in self._nodes.items() if key in node]
+
+    def stats(self) -> Dict[str, Number]:
+        return {
+            "local_hits": self.local_hits,
+            "remote_hits": self.remote_hits,
+            "misses": self.misses,
+            "reprieves": sum(node.policy.reprieves
+                             for node in self._nodes.values()),
+            "resident_items": sum(len(node.kvs) for node in
+                                  self._nodes.values()),
+        }

@@ -1,0 +1,78 @@
+"""Consistent hashing ring with virtual nodes.
+
+The placement substrate for the cooperative-caching extension (the paper's
+section 6 mentions decentralizing CAMP in a KOSAR-style framework).
+Standard construction: each node owns ``vnodes`` pseudo-random points on a
+2^32 ring; a key maps to the first node point at or after its hash, and
+``preference_list`` walks clockwise to find distinct replica holders.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ClusterError, ConfigurationError
+
+__all__ = ["HashRing"]
+
+
+def _hash32(data: str) -> int:
+    digest = hashlib.md5(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class HashRing:
+    """Consistent-hash placement of keys onto named nodes."""
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []   # sorted (hash, node)
+        self._nodes: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        if name in self._nodes:
+            raise ClusterError(f"node {name!r} already on the ring")
+        self._nodes[name] = True
+        for i in range(self._vnodes):
+            point = (_hash32(f"{name}#{i}"), name)
+            bisect.insort(self._points, point)
+
+    def remove_node(self, name: str) -> None:
+        if name not in self._nodes:
+            raise ClusterError(f"node {name!r} not on the ring")
+        del self._nodes[name]
+        self._points = [(h, n) for h, n in self._points if n != name]
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def primary(self, key: str) -> str:
+        """The node owning ``key``."""
+        return self.preference_list(key, 1)[0]
+
+    def preference_list(self, key: str, n: int) -> List[str]:
+        """The first ``n`` distinct nodes clockwise from the key's point."""
+        if not self._nodes:
+            raise ClusterError("ring has no nodes")
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        n = min(n, len(self._nodes))
+        start = bisect.bisect_left(self._points, (_hash32(key), ""))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            _, node = self._points[(start + offset) % len(self._points)]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == n:
+                    break
+        return seen

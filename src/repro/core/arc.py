@@ -1,0 +1,209 @@
+"""ARC (Megiddo & Modha 2003), generalized to byte-sized items.
+
+Four lists: resident ``T1`` (seen once recently) and ``T2`` (seen at least
+twice), plus ghost lists ``B1``/``B2`` remembering recently evicted keys.
+A hit in a ghost list steers the adaptation target ``p`` — the byte share
+of capacity reserved for T1 — toward the list that would have hit.  The
+original operates on uniform pages; we use the standard byte-weighted
+generalization (ghost hits move ``p`` by the item's size, scaled by the
+ratio of ghost sizes).  Cited in the paper's related work as a self-tuning
+recency/frequency policy that still ignores cost and size *preferences*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    EvictionError,
+    MissingKeyError,
+)
+from repro.structures import DList, DListNode
+
+__all__ = ["ArcPolicy"]
+
+
+class _Node(DListNode):
+    __slots__ = ("item", "in_t1")
+
+    def __init__(self, item: CacheItem) -> None:
+        super().__init__()
+        self.item = item
+        self.in_t1 = True
+
+
+class _Ghost:
+    """Insertion-ordered key -> size map with byte accounting."""
+
+    __slots__ = ("entries", "bytes")
+
+    def __init__(self) -> None:
+        self.entries: "OrderedDict[str, int]" = OrderedDict()
+        self.bytes = 0
+
+    def add(self, key: str, size: int) -> None:
+        self.entries[key] = size
+        self.bytes += size
+
+    def discard(self, key: str) -> Optional[int]:
+        size = self.entries.pop(key, None)
+        if size is not None:
+            self.bytes -= size
+        return size
+
+    def pop_oldest(self) -> None:
+        if self.entries:
+            _, size = self.entries.popitem(last=False)
+            self.bytes -= size
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class ArcPolicy(EvictionPolicy):
+    """Adaptive Replacement Cache over byte-sized key-value pairs."""
+
+    name = "arc"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._p = 0  # adaptive T1 target in bytes
+        self._t1 = DList()
+        self._t2 = DList()
+        self._t1_bytes = 0
+        self._t2_bytes = 0
+        self._b1 = _Ghost()
+        self._b2 = _Ghost()
+        self._nodes: Dict[str, _Node] = {}
+        # ghost membership of the key currently being admitted, latched by
+        # the first pop_victim call for that key
+        self._pending: Optional[str] = None
+        self._pending_in_b2 = False
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+    def _adapt(self, incoming: CacheItem) -> None:
+        """Adjust p on a ghost hit for the incoming key (once per admission)."""
+        if self._pending == incoming.key:
+            return
+        self._pending = incoming.key
+        self._pending_in_b2 = incoming.key in self._b2
+        if incoming.key in self._b1:
+            scale = max(1.0, self._b2.bytes / max(self._b1.bytes, 1))
+            self._p = min(self._capacity,
+                          self._p + int(scale * incoming.size) + 1)
+        elif self._pending_in_b2:
+            scale = max(1.0, self._b1.bytes / max(self._b2.bytes, 1))
+            self._p = max(0, self._p - int(scale * incoming.size) - 1)
+
+    def _trim_ghosts(self) -> None:
+        # |T1| + |B1| <= c and total directory <= 2c, in bytes
+        while self._t1_bytes + self._b1.bytes > self._capacity and len(self._b1):
+            self._b1.pop_oldest()
+        while (self._t1_bytes + self._t2_bytes + self._b1.bytes +
+               self._b2.bytes > 2 * self._capacity) and len(self._b2):
+            self._b2.pop_oldest()
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def on_hit(self, key: str) -> None:
+        node = self._nodes.get(key)
+        if node is None:
+            raise MissingKeyError(key)
+        if node.in_t1:
+            self._t1.remove(node)
+            self._t1_bytes -= node.item.size
+            node.in_t1 = False
+            self._t2.append(node)
+            self._t2_bytes += node.item.size
+        else:
+            self._t2.move_to_tail(node)
+
+    def on_insert(self, key: str, size: int, cost: Union[int, float]) -> None:
+        if key in self._nodes:
+            raise DuplicateKeyError(key)
+        item = CacheItem(key, size, cost)
+        self._adapt(item)  # no-op if pop_victim already latched this key
+        node = _Node(item)
+        was_ghost = self._b1.discard(key) is not None
+        if self._b2.discard(key) is not None:
+            was_ghost = True
+        if was_ghost:
+            node.in_t1 = False
+            self._t2.append(node)
+            self._t2_bytes += size
+        else:
+            self._t1.append(node)
+            self._t1_bytes += size
+        self._nodes[key] = node
+        self._trim_ghosts()
+        if self._pending == key:
+            self._pending = None
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if not self._nodes:
+            raise EvictionError("ARC has nothing to evict")
+        if incoming is not None:
+            self._adapt(incoming)
+        in_b2 = self._pending_in_b2 if incoming is not None else False
+        # REPLACE(x) from the ARC paper, byte-weighted
+        use_t1 = bool(self._t1) and (
+            self._t1_bytes > self._p or
+            (in_b2 and self._t1_bytes == self._p) or
+            not self._t2)
+        if use_t1:
+            node = self._t1.popleft()
+            self._t1_bytes -= node.item.size
+            self._b1.add(node.item.key, node.item.size)
+        else:
+            node = self._t2.popleft()
+            self._t2_bytes -= node.item.size
+            self._b2.add(node.item.key, node.item.size)
+        del self._nodes[node.item.key]
+        self._trim_ghosts()
+        return node.item.key
+
+    def on_remove(self, key: str) -> None:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            raise MissingKeyError(key)
+        if node.in_t1:
+            self._t1.remove(node)
+            self._t1_bytes -= node.item.size
+        else:
+            self._t2.remove(node)
+            self._t2_bytes -= node.item.size
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def target_t1_bytes(self) -> int:
+        """The adaptive parameter p."""
+        return self._p
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        return {
+            "t1_bytes": self._t1_bytes,
+            "t2_bytes": self._t2_bytes,
+            "b1_keys": len(self._b1),
+            "b2_keys": len(self._b2),
+            "p": self._p,
+        }

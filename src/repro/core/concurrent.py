@@ -1,0 +1,168 @@
+"""Vertical-scaling extensions from the paper's section 4.1.
+
+The paper argues CAMP scales on multi-cores because (1) the shared heap is
+touched only when a queue head changes, (2) distinct LRU queues can be
+updated concurrently, and (3) each logical LRU queue "may be represented as
+multiple physical queues" with keys hash-partitioned across them.
+
+Two building blocks reproduce that story in Python:
+
+* :class:`ThreadSafePolicy` — wraps any policy with a re-entrant lock so a
+  multi-threaded server (see ``repro.twemcache.server``) can share it.
+* :class:`ShardedCampPolicy` — hash-partitions keys across ``shards``
+  independent CAMP instances (each with its own lock), sharing one
+  :class:`~repro.core.rounding.RatioConverter` so ratios stay comparable.
+  Victim selection takes the globally minimal queue head across shards.
+  Each shard maintains its own inflation offset ``L``; offsets stay within
+  one another's reach because every shard sees a similar key sample — the
+  deviation from single-instance CAMP is bounded by inter-shard skew and is
+  measured (not assumed) in the concurrency ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+from repro.core.camp import CampPolicy
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.core.rounding import RatioConverter
+from repro.errors import ConfigurationError, EvictionError
+
+__all__ = ["ThreadSafePolicy", "ShardedCampPolicy"]
+
+Number = Union[int, float]
+
+
+class ThreadSafePolicy(EvictionPolicy):
+    """Serializes all access to an inner policy with one re-entrant lock."""
+
+    name = "thread-safe"
+
+    def __init__(self, inner: EvictionPolicy) -> None:
+        self._inner = inner
+        self._lock = threading.RLock()
+
+    @property
+    def inner(self) -> EvictionPolicy:
+        return self._inner
+
+    def on_hit(self, key: str) -> None:
+        with self._lock:
+            self._inner.on_hit(key)
+
+    def on_insert(self, key: str, size: int, cost: Number) -> None:
+        with self._lock:
+            self._inner.on_insert(key, size, cost)
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        with self._lock:
+            return self._inner.pop_victim(incoming)
+
+    def on_remove(self, key: str) -> None:
+        with self._lock:
+            self._inner.on_remove(key)
+
+    def wants_eviction(self, incoming: CacheItem, free_bytes: int) -> bool:
+        with self._lock:
+            return self._inner.wants_eviction(incoming, free_bytes)
+
+    def fits(self, incoming: CacheItem, capacity: int) -> bool:
+        with self._lock:
+            return self._inner.fits(incoming, capacity)
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        with self._lock:
+            return self._inner.stats()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._inner.reset_stats()
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._inner
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inner)
+
+
+class ShardedCampPolicy(EvictionPolicy):
+    """CAMP hash-partitioned over independent shards (section 4.1, point 3)."""
+
+    name = "camp-sharded"
+
+    def __init__(self,
+                 shards: int = 4,
+                 precision: Optional[int] = 5,
+                 heap_kind: str = "dary",
+                 arity: int = 8) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        converter = RatioConverter()
+        self._shards: List[CampPolicy] = [
+            CampPolicy(precision=precision, heap_kind=heap_kind, arity=arity,
+                       converter=converter)
+            for _ in range(shards)]
+        self._locks = [threading.RLock() for _ in range(shards)]
+
+    def _index(self, key: str) -> int:
+        return hash(key) % len(self._shards)
+
+    def on_hit(self, key: str) -> None:
+        i = self._index(key)
+        with self._locks[i]:
+            self._shards[i].on_hit(key)
+
+    def on_insert(self, key: str, size: int, cost: Number) -> None:
+        i = self._index(key)
+        with self._locks[i]:
+            self._shards[i].on_insert(key, size, cost)
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        # choose the shard holding the globally minimal queue head
+        best_index = -1
+        best_priority = None
+        for i, shard in enumerate(self._shards):
+            with self._locks[i]:
+                priority = shard.peek_min_priority()
+            if priority is None:
+                continue
+            if best_priority is None or priority < best_priority:
+                best_priority = priority
+                best_index = i
+        if best_index < 0:
+            raise EvictionError("all CAMP shards are empty")
+        with self._locks[best_index]:
+            return self._shards[best_index].pop_victim(incoming)
+
+    def on_remove(self, key: str) -> None:
+        i = self._index(key)
+        with self._locks[i]:
+            self._shards[i].on_remove(key)
+
+    def __contains__(self, key: str) -> bool:
+        i = self._index(key)
+        with self._locks[i]:
+            return key in self._shards[i]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(s) for s in self._shards]
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        merged: Dict[str, Union[int, float]] = {"shards": len(self._shards)}
+        for stat_key in ("heap_node_visits", "heap_updates", "queue_count"):
+            merged[stat_key] = sum(s.stats()[stat_key] for s in self._shards)
+        return merged
+
+    def reset_stats(self) -> None:
+        for shard in self._shards:
+            shard.reset_stats()

@@ -1,0 +1,60 @@
+"""First-In First-Out — the recency-blind control baseline."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import DuplicateKeyError, EvictionError, MissingKeyError
+from repro.structures import DList, DListNode
+
+__all__ = ["FifoPolicy"]
+
+
+class _FifoNode(DListNode):
+    __slots__ = ("item",)
+
+    def __init__(self, item: CacheItem) -> None:
+        super().__init__()
+        self.item = item
+
+
+class FifoPolicy(EvictionPolicy):
+    """Evicts in insertion order; hits do not reorder anything."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue = DList()
+        self._nodes: Dict[str, _FifoNode] = {}
+
+    def on_hit(self, key: str) -> None:
+        if key not in self._nodes:
+            raise MissingKeyError(key)
+        # FIFO deliberately ignores hits.
+
+    def on_insert(self, key: str, size: int, cost: Union[int, float]) -> None:
+        if key in self._nodes:
+            raise DuplicateKeyError(key)
+        node = _FifoNode(CacheItem(key, size, cost))
+        self._nodes[key] = node
+        self._queue.append(node)
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if not self._queue:
+            raise EvictionError("FIFO has nothing to evict")
+        node = self._queue.popleft()
+        del self._nodes[node.item.key]
+        return node.item.key
+
+    def on_remove(self, key: str) -> None:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            raise MissingKeyError(key)
+        self._queue.remove(node)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,240 @@
+"""GD-Wheel (Li & Cox) — the related-work competitor to CAMP.
+
+GD-Wheel also accelerates Greedy Dual, but by hashing each pair's *overall
+priority* ``P = L + cost/size`` into hierarchical **cost wheels** (timing
+wheels repurposed for priorities): wheel ``i`` has ``num_slots`` slots of
+width ``num_slots**i``.  Eviction advances the wheel-0 hand to the next
+non-empty slot; when wheel 0 completes its range, the next occupied slot of
+wheel 1 is *migrated* down (every resident pair in it is re-scattered into
+wheel 0), and so on up the hierarchy.
+
+The paper's section 5 criticizes exactly the properties visible here:
+the rounding applies to the overall priority (so the approximation error is
+hard to bound — contrast CAMP's Proposition 3), and migrations periodically
+touch every pair in a slot (CAMP never migrates, because a pair's rounded
+cost-to-size ratio is fixed while it is resident).  Migrated pairs are
+counted in ``stats()["migrated_items"]`` to make that cost observable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.core.rounding import RatioConverter
+from repro.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    EvictionError,
+    MissingKeyError,
+)
+from repro.structures import DList, DListNode
+
+__all__ = ["GdWheelPolicy"]
+
+Number = Union[int, float]
+
+
+class _WheelNode(DListNode):
+    __slots__ = ("item", "priority", "slot", "wheel")
+
+    def __init__(self, item: CacheItem, priority: int) -> None:
+        super().__init__()
+        self.item = item
+        self.priority = priority
+        self.slot: Optional[DList] = None
+        self.wheel: Optional["_Wheel"] = None
+
+
+class _Wheel:
+    """One level: ``num_slots`` FIFO slots of width ``granularity``."""
+
+    __slots__ = ("granularity", "slots", "hand", "base", "count")
+
+    def __init__(self, num_slots: int, granularity: int, base: int) -> None:
+        self.granularity = granularity
+        self.slots: List[DList] = [DList() for _ in range(num_slots)]
+        self.hand = 0    # index of the slot whose range starts at ``base``
+        self.base = base  # priority value at the hand
+        self.count = 0   # resident pairs in this wheel
+
+    @property
+    def span(self) -> int:
+        return len(self.slots) * self.granularity
+
+
+class GdWheelPolicy(EvictionPolicy):
+    """Greedy Dual over hierarchical cost wheels."""
+
+    name = "gd-wheel"
+
+    def __init__(self,
+                 num_slots: int = 64,
+                 levels: int = 3,
+                 converter: Optional[RatioConverter] = None) -> None:
+        if num_slots < 2:
+            raise ConfigurationError(f"num_slots must be >= 2, got {num_slots}")
+        if levels < 1:
+            raise ConfigurationError(f"levels must be >= 1, got {levels}")
+        self._num_slots = num_slots
+        self._wheels: List[_Wheel] = []
+        granularity = 1
+        for _ in range(levels):
+            self._wheels.append(_Wheel(num_slots, granularity, base=0))
+            granularity *= num_slots
+        self._nodes: Dict[str, _WheelNode] = {}
+        self._converter = converter if converter is not None else RatioConverter()
+        self._L = 0
+        self._migrated_items = 0
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _place(self, node: _WheelNode) -> None:
+        """Scatter a node into the lowest wheel that can express its delay."""
+        delta = node.priority - self._L
+        if delta < 0:
+            delta = 0
+        for wheel in self._wheels:
+            offset = (node.priority - wheel.base) // wheel.granularity
+            if offset < 0:
+                offset = 0
+            if offset < self._num_slots:
+                slot = wheel.slots[(wheel.hand + offset) % self._num_slots]
+                slot.append(node)
+                node.slot = slot
+                node.wheel = wheel
+                wheel.count += 1
+                return
+        # beyond the top wheel's horizon: clamp into its furthest slot
+        top = self._wheels[-1]
+        slot = top.slots[(top.hand + self._num_slots - 1) % self._num_slots]
+        slot.append(node)
+        node.slot = slot
+        node.wheel = top
+        top.count += 1
+
+    def _unplace(self, node: _WheelNode) -> None:
+        assert node.slot is not None and node.wheel is not None
+        node.slot.remove(node)
+        node.wheel.count -= 1
+        node.slot = None
+        node.wheel = None
+
+    # ------------------------------------------------------------------
+    # hand advancement / migration
+    # ------------------------------------------------------------------
+    def _advance_to_victim(self) -> DList:
+        """Advance hands until wheel 0's current slot is non-empty."""
+        while True:
+            wheel0 = self._wheels[0]
+            if wheel0.count:
+                for step in range(self._num_slots):
+                    slot = wheel0.slots[(wheel0.hand + step) % self._num_slots]
+                    if slot:
+                        wheel0.hand = (wheel0.hand + step) % self._num_slots
+                        wheel0.base += step * wheel0.granularity
+                        self._L = max(self._L, wheel0.base)
+                        return slot
+            # wheel 0 drained: pull down one slot from the lowest
+            # occupied upper wheel (migration, per the GD-Wheel paper)
+            level = next((i for i in range(1, len(self._wheels))
+                          if self._wheels[i].count), None)
+            if level is None:
+                raise EvictionError("GD-Wheel has nothing to evict")
+            self._migrate_slot(level)
+
+    def _migrate_slot(self, level: int) -> None:
+        """Drain the next occupied slot of ``level`` into the wheels below.
+
+        Every wheel below ``level`` is empty (that is the only reason
+        migration runs), so they are re-anchored at the slot's start value
+        before the slot's pairs are re-scattered.
+        """
+        wheel = self._wheels[level]
+        for step in range(self._num_slots):
+            index = (wheel.hand + step) % self._num_slots
+            slot = wheel.slots[index]
+            if not slot:
+                continue
+            slot_base = wheel.base + step * wheel.granularity
+            for lower in self._wheels[:level]:
+                lower.hand = 0
+                lower.base = slot_base
+            nodes = list(slot)
+            # consume the slot before re-placing, so clamped overflow pairs
+            # scatter relative to the advanced hand
+            wheel.hand = (index + 1) % self._num_slots
+            wheel.base = slot_base + wheel.granularity
+            for node in nodes:
+                slot.remove(node)
+                wheel.count -= 1
+                node.slot = None
+                node.wheel = None
+                self._migrated_items += 1
+                self._place(node)
+            return
+        raise EvictionError("inconsistent GD-Wheel occupancy counter")
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def _priority(self, item: CacheItem) -> int:
+        self._converter.observe(item.size)
+        return self._L + self._converter.to_integer(item.cost, item.size)
+
+    def on_hit(self, key: str) -> None:
+        node = self._nodes.get(key)
+        if node is None:
+            raise MissingKeyError(key)
+        self._unplace(node)
+        node.priority = self._priority(node.item)
+        self._place(node)
+
+    def on_insert(self, key: str, size: int, cost: Number) -> None:
+        if key in self._nodes:
+            raise DuplicateKeyError(key)
+        item = CacheItem(key, size, cost)
+        node = _WheelNode(item, self._priority(item))
+        self._nodes[key] = node
+        self._place(node)
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if not self._nodes:
+            raise EvictionError("GD-Wheel has nothing to evict")
+        slot = self._advance_to_victim()
+        node = slot.popleft()
+        self._wheels[0].count -= 1
+        node.slot = None
+        node.wheel = None
+        del self._nodes[node.item.key]
+        return node.item.key
+
+    def on_remove(self, key: str) -> None:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            raise MissingKeyError(key)
+        self._unplace(node)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def inflation(self) -> int:
+        return self._L
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        return {
+            "migrated_items": self._migrated_items,
+            "inflation": float(self._L),
+            "wheel_counts": sum(w.count for w in self._wheels),
+        }
+
+    def reset_stats(self) -> None:
+        self._migrated_items = 0

@@ -1,0 +1,27 @@
+"""Greedy Dual (Young 1991) — varying cost, uniform size.
+
+The ancestor of GDS: ``H(p) = L + cost(p)`` with no size term.  The paper
+describes GDS as the extension of this algorithm to variable sizes; we keep
+the original as a baseline for the equi-sized trace of section 3.2, where
+Greedy Dual and GDS coincide.
+"""
+
+from __future__ import annotations
+
+from repro.core.gds import GdsPolicy
+from repro.core.policy import CacheItem
+from typing import Union
+
+__all__ = ["GreedyDualPolicy"]
+
+
+class GreedyDualPolicy(GdsPolicy):
+    """GDS with the size term fixed at 1 (cost-only priorities)."""
+
+    name = "greedy-dual"
+
+    def _ratio(self, item: CacheItem) -> Union[int, float]:
+        if self._integerize:
+            # sizes are ignored: convert the bare cost
+            return self._converter.to_integer(item.cost, 1)
+        return item.cost

@@ -1,0 +1,96 @@
+"""Least Frequently Used with O(1) operations (frequency-bucket lists).
+
+Buckets are LRU queues keyed by reference count, mirroring the classic
+constant-time LFU construction; ties inside a bucket break by recency.
+Included as a frequency-only contrast to CAMP's cost/size awareness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import DuplicateKeyError, EvictionError, MissingKeyError
+from repro.structures import DList, DListNode
+
+__all__ = ["LfuPolicy"]
+
+
+class _LfuNode(DListNode):
+    __slots__ = ("item", "freq")
+
+    def __init__(self, item: CacheItem) -> None:
+        super().__init__()
+        self.item = item
+        self.freq = 1
+
+
+class LfuPolicy(EvictionPolicy):
+    """Evicts the least-frequently (then least-recently) used pair."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _LfuNode] = {}
+        self._buckets: Dict[int, DList] = {}
+        self._min_freq = 0
+
+    def _bucket(self, freq: int) -> DList:
+        bucket = self._buckets.get(freq)
+        if bucket is None:
+            bucket = DList()
+            self._buckets[freq] = bucket
+        return bucket
+
+    def _drop_if_empty(self, freq: int) -> None:
+        bucket = self._buckets.get(freq)
+        if bucket is not None and not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = min(self._buckets) if self._buckets else 0
+
+    def on_hit(self, key: str) -> None:
+        node = self._nodes.get(key)
+        if node is None:
+            raise MissingKeyError(key)
+        old = node.freq
+        self._buckets[old].remove(node)
+        node.freq += 1
+        self._bucket(node.freq).append(node)
+        self._drop_if_empty(old)
+
+    def on_insert(self, key: str, size: int, cost: Union[int, float]) -> None:
+        if key in self._nodes:
+            raise DuplicateKeyError(key)
+        node = _LfuNode(CacheItem(key, size, cost))
+        self._nodes[key] = node
+        self._bucket(1).append(node)
+        self._min_freq = 1
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if not self._nodes:
+            raise EvictionError("LFU has nothing to evict")
+        bucket = self._buckets[self._min_freq]
+        node = bucket.popleft()
+        del self._nodes[node.item.key]
+        self._drop_if_empty(node.freq)
+        return node.item.key
+
+    def on_remove(self, key: str) -> None:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            raise MissingKeyError(key)
+        self._buckets[node.freq].remove(node)
+        self._drop_if_empty(node.freq)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def frequency_of(self, key: str) -> int:
+        node = self._nodes.get(key)
+        if node is None:
+            raise MissingKeyError(key)
+        return node.freq

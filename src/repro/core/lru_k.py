@@ -1,0 +1,98 @@
+"""LRU-K (O'Neil, O'Neil, Weikum 1993) — recency/frequency balance.
+
+Evicts the pair with the oldest K-th most recent reference ("maximum
+backward K-distance").  Pairs with fewer than K references have infinite
+backward distance and are evicted first, ordered among themselves by their
+oldest reference.  Listed by the paper (section 5) among the adaptive
+replacement techniques that, unlike CAMP, ignore size and cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Union
+
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    EvictionError,
+    MissingKeyError,
+)
+from repro.structures import make_heap
+
+__all__ = ["LruKPolicy"]
+
+
+class LruKPolicy(EvictionPolicy):
+    """Heap-backed LRU-K; priority = sequence number of the K-th last reference."""
+
+    name = "lru-k"
+
+    def __init__(self, k: int = 2, heap_kind: str = "dary", arity: int = 8) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._heap = make_heap(heap_kind, arity=arity)
+        self._entry_type = type(self._heap).entry_type
+        self._entries: Dict[str, object] = {}
+        self._history: Dict[str, Deque[int]] = {}
+        self._seq = 0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def _priority(self, key: str) -> tuple:
+        history = self._history[key]
+        if len(history) >= self._k:
+            kth_last = history[0]
+        else:
+            kth_last = 0  # fewer than K references: infinite backward distance
+        return (kth_last, history[-1])
+
+    def on_hit(self, key: str) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise MissingKeyError(key)
+        self._seq += 1
+        history = self._history[key]
+        history.append(self._seq)
+        self._heap.update(entry, self._priority(key))
+
+    def on_insert(self, key: str, size: int, cost: Union[int, float]) -> None:
+        if key in self._entries:
+            raise DuplicateKeyError(key)
+        self._seq += 1
+        self._history[key] = deque([self._seq], maxlen=self._k)
+        entry = self._entry_type(self._priority(key), CacheItem(key, size, cost))
+        self._heap.push(entry)
+        self._entries[key] = entry
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if not self._heap:
+            raise EvictionError("LRU-K has nothing to evict")
+        entry = self._heap.pop()
+        key = entry.item.key
+        del self._entries[key]
+        del self._history[key]
+        return key
+
+    def on_remove(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            raise MissingKeyError(key)
+        self._heap.remove(entry)
+        del self._history[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reference_count(self, key: str) -> int:
+        """Number of tracked references (capped at K)."""
+        if key not in self._history:
+            raise MissingKeyError(key)
+        return len(self._history[key])

@@ -1,0 +1,225 @@
+"""Pooled LRU — the human-partitioned baseline (paper section 3, ref [18]).
+
+Memory is split into disjoint pools, each an independent LRU with its own
+byte budget; items map to pools by their cost.  The paper gives Pooled LRU
+"the greatest advantage" by sizing pools offline from the whole trace.  We
+reproduce all three sizing schemes it evaluates:
+
+* ``uniform``      — equal budgets (section 3: behaves like plain LRU on the
+  three-cost trace because the pools see similar frequency/size),
+* ``cost``         — budget proportional to the **total cost of requests**
+  whose keys fall in the pool (section 3: with costs {1, 100, 10K} this
+  dedicates ~99 % of memory to the expensive pool),
+* ``range-floor``  — pools cover cost *ranges* and budgets are proportional
+  to the **lowest cost in each range** (section 3.2's scheme for traces
+  with many distinct costs).
+
+A pool evicts only for its own overflow, so evictions can happen while the
+store as a whole still has free bytes — the structural inefficiency CAMP
+removes by resizing queues dynamically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.lru import LruPolicy
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import ConfigurationError, EvictionError, MissingKeyError
+
+__all__ = ["PoolSpec", "PooledLruPolicy", "pools_from_cost_values",
+           "pools_from_cost_ranges", "cost_proportional_fractions"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True, slots=True)
+class PoolSpec:
+    """One pool: a half-open cost range [low, high) and a capacity fraction."""
+
+    name: str
+    low: Number
+    high: Number
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fraction <= 1:
+            raise ConfigurationError(
+                f"pool fraction must be in [0, 1], got {self.fraction}")
+        if self.low >= self.high:
+            raise ConfigurationError(
+                f"pool range must satisfy low < high, got [{self.low}, {self.high})")
+
+    def matches(self, cost: Number) -> bool:
+        return self.low <= cost < self.high
+
+
+class _Pool:
+    __slots__ = ("spec", "capacity", "lru", "used")
+
+    def __init__(self, spec: PoolSpec, capacity: int) -> None:
+        self.spec = spec
+        self.capacity = capacity
+        self.lru = LruPolicy()
+        self.used = 0
+
+
+class PooledLruPolicy(EvictionPolicy):
+    """Statically partitioned LRU pools keyed by item cost."""
+
+    name = "pooled-lru"
+
+    def __init__(self, capacity: int, pools: Sequence[PoolSpec]) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if not pools:
+            raise ConfigurationError("at least one pool is required")
+        total = sum(spec.fraction for spec in pools)
+        if total > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"pool fractions sum to {total:.4f} > 1")
+        self._pools: List[_Pool] = [
+            _Pool(spec, int(capacity * spec.fraction)) for spec in pools]
+        # guarantee every pool can hold at least something tiny
+        for pool in self._pools:
+            pool.capacity = max(pool.capacity, 1)
+        self._assignment: Dict[str, _Pool] = {}
+        self._sizes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # pool lookup
+    # ------------------------------------------------------------------
+    def _pool_for_cost(self, cost: Number) -> _Pool:
+        for pool in self._pools:
+            if pool.spec.matches(cost):
+                return pool
+        raise ConfigurationError(f"no pool covers cost {cost}")
+
+    # ------------------------------------------------------------------
+    # capacity hooks — pools enforce their own budgets
+    # ------------------------------------------------------------------
+    def wants_eviction(self, incoming: CacheItem, free_bytes: int) -> bool:
+        pool = self._pool_for_cost(incoming.cost)
+        return pool.used + incoming.size > pool.capacity
+
+    def fits(self, incoming: CacheItem, capacity: int) -> bool:
+        pool = self._pool_for_cost(incoming.cost)
+        return incoming.size <= pool.capacity
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def on_hit(self, key: str) -> None:
+        pool = self._assignment.get(key)
+        if pool is None:
+            raise MissingKeyError(key)
+        pool.lru.on_hit(key)
+
+    def on_insert(self, key: str, size: int, cost: Number) -> None:
+        pool = self._pool_for_cost(cost)
+        pool.lru.on_insert(key, size, cost)
+        pool.used += size
+        self._assignment[key] = pool
+        self._sizes[key] = size
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if incoming is None:
+            # no context: evict from the fullest pool (absolute overflow first)
+            candidates = [p for p in self._pools if len(p.lru)]
+            if not candidates:
+                raise EvictionError("all pools are empty")
+            pool = max(candidates, key=lambda p: p.used / max(p.capacity, 1))
+        else:
+            pool = self._pool_for_cost(incoming.cost)
+            if not len(pool.lru):
+                raise EvictionError(
+                    f"pool {pool.spec.name!r} is empty but over budget")
+        key = pool.lru.pop_victim()
+        self._forget(key, pool)
+        return key
+
+    def on_remove(self, key: str) -> None:
+        pool = self._assignment.get(key)
+        if pool is None:
+            raise MissingKeyError(key)
+        pool.lru.on_remove(key)
+        self._forget(key, pool)
+
+    def _forget(self, key: str, pool: _Pool) -> None:
+        pool.used -= self._sizes.pop(key)
+        del self._assignment[key]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._assignment
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def pool_utilization(self) -> Dict[str, Tuple[int, int]]:
+        """Mapping pool name -> (used bytes, capacity bytes)."""
+        return {p.spec.name: (p.used, p.capacity) for p in self._pools}
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        return {f"pool_{p.spec.name}_used": p.used for p in self._pools}
+
+
+# ----------------------------------------------------------------------
+# offline pool-sizing helpers (the paper's oracle advantage)
+# ----------------------------------------------------------------------
+def pools_from_cost_values(cost_values: Sequence[Number],
+                           fractions: Sequence[float]) -> List[PoolSpec]:
+    """One pool per distinct cost value (the paper's three-cost setup)."""
+    if len(cost_values) != len(fractions):
+        raise ConfigurationError("cost_values and fractions differ in length")
+    values = sorted(set(cost_values))
+    if len(values) != len(cost_values):
+        raise ConfigurationError("cost values must be distinct")
+    specs = []
+    for value, fraction in zip(values, fractions):
+        specs.append(PoolSpec(name=f"cost={value}", low=value,
+                              high=value + 1e-9 if isinstance(value, float)
+                              else value + 1,
+                              fraction=fraction))
+    return specs
+
+
+def pools_from_cost_ranges(ranges: Sequence[Tuple[Number, Number]],
+                           fractions: Optional[Sequence[float]] = None
+                           ) -> List[PoolSpec]:
+    """Pools over half-open cost ranges.
+
+    When ``fractions`` is omitted, budgets follow section 3.2's rule:
+    proportional to the lowest cost value of each range.
+    """
+    if fractions is None:
+        floors = [max(low, 1) for low, _ in ranges]
+        total = sum(floors)
+        fractions = [f / total for f in floors]
+    if len(ranges) != len(fractions):
+        raise ConfigurationError("ranges and fractions differ in length")
+    return [PoolSpec(name=f"[{low},{high})", low=low, high=high,
+                     fraction=fraction)
+            for (low, high), fraction in zip(ranges, fractions)]
+
+
+def cost_proportional_fractions(
+        requests: Iterable[Tuple[Number, int]]) -> Dict[Number, float]:
+    """Fractions proportional to the total cost of requests per cost value.
+
+    ``requests`` yields (cost value, request count) pairs — typically from a
+    full offline pass over the trace, which is exactly the oracle knowledge
+    the paper grants Pooled LRU.
+    """
+    totals: Dict[Number, float] = {}
+    for cost, count in requests:
+        totals[cost] = totals.get(cost, 0.0) + float(cost) * count
+    grand = sum(totals.values())
+    if grand <= 0:
+        # degenerate all-zero-cost trace: fall back to uniform
+        n = len(totals) if totals else 1
+        return {cost: 1.0 / n for cost in totals}
+    return {cost: value / grand for cost, value in totals.items()}

@@ -1,0 +1,60 @@
+"""Random replacement — the zero-information control baseline."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Union
+
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import DuplicateKeyError, EvictionError, MissingKeyError
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(EvictionPolicy):
+    """Evicts a uniformly random resident pair (O(1) via swap-remove)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._keys: List[str] = []
+        self._positions: Dict[str, int] = {}
+
+    def on_hit(self, key: str) -> None:
+        if key not in self._positions:
+            raise MissingKeyError(key)
+
+    def on_insert(self, key: str, size: int, cost: Union[int, float]) -> None:
+        if key in self._positions:
+            raise DuplicateKeyError(key)
+        CacheItem(key, size, cost)  # validate inputs
+        self._positions[key] = len(self._keys)
+        self._keys.append(key)
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if not self._keys:
+            raise EvictionError("random policy has nothing to evict")
+        index = self._rng.randrange(len(self._keys))
+        return self._remove_at(index)
+
+    def on_remove(self, key: str) -> None:
+        index = self._positions.get(key)
+        if index is None:
+            raise MissingKeyError(key)
+        self._remove_at(index)
+
+    def _remove_at(self, index: int) -> str:
+        key = self._keys[index]
+        last = self._keys.pop()
+        if last != key:
+            self._keys[index] = last
+            self._positions[last] = index
+        del self._positions[key]
+        return key
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._positions
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -1,0 +1,111 @@
+"""Segmented LRU — the scan-resistant LRU used by modern memcached.
+
+Two segments: *probationary* (first-time entrants) and *protected*
+(promoted on a hit, byte budget ``protected_fraction`` of capacity).
+Overflowing the protected segment demotes its LRU back to probationary, so
+a burst of one-shot keys can only churn the probationary segment.  A
+recency-only contrast to CAMP that is stronger than plain LRU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    EvictionError,
+    MissingKeyError,
+)
+from repro.structures import DList, DListNode
+
+__all__ = ["SlruPolicy"]
+
+
+class _Node(DListNode):
+    __slots__ = ("item", "protected")
+
+    def __init__(self, item: CacheItem) -> None:
+        super().__init__()
+        self.item = item
+        self.protected = False
+
+
+class SlruPolicy(EvictionPolicy):
+    """SLRU with byte-accounted probationary and protected segments."""
+
+    name = "slru"
+
+    def __init__(self, capacity: int, protected_fraction: float = 0.8) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if not 0 < protected_fraction < 1:
+            raise ConfigurationError(
+                f"protected_fraction must be in (0, 1), got {protected_fraction}")
+        self._protected_budget = max(1, int(capacity * protected_fraction))
+        self._probation = DList()
+        self._protected = DList()
+        self._protected_bytes = 0
+        self._nodes: Dict[str, _Node] = {}
+
+    def on_hit(self, key: str) -> None:
+        node = self._nodes.get(key)
+        if node is None:
+            raise MissingKeyError(key)
+        if node.protected:
+            self._protected.move_to_tail(node)
+            return
+        # promote probation -> protected
+        self._probation.remove(node)
+        node.protected = True
+        self._protected.append(node)
+        self._protected_bytes += node.item.size
+        # demote protected overflow back to probation (MRU end)
+        while self._protected_bytes > self._protected_budget and \
+                len(self._protected) > 1:
+            demoted = self._protected.popleft()
+            demoted.protected = False
+            self._protected_bytes -= demoted.item.size
+            self._probation.append(demoted)
+
+    def on_insert(self, key: str, size: int, cost: Union[int, float]) -> None:
+        if key in self._nodes:
+            raise DuplicateKeyError(key)
+        node = _Node(CacheItem(key, size, cost))
+        self._nodes[key] = node
+        self._probation.append(node)
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if not self._nodes:
+            raise EvictionError("SLRU has nothing to evict")
+        if self._probation:
+            node = self._probation.popleft()
+        else:
+            node = self._protected.popleft()
+            self._protected_bytes -= node.item.size
+        del self._nodes[node.item.key]
+        return node.item.key
+
+    def on_remove(self, key: str) -> None:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            raise MissingKeyError(key)
+        if node.protected:
+            self._protected.remove(node)
+            self._protected_bytes -= node.item.size
+        else:
+            self._probation.remove(node)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        return {
+            "probation_items": len(self._probation),
+            "protected_items": len(self._protected),
+            "protected_bytes": self._protected_bytes,
+        }

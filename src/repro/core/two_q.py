@@ -1,0 +1,146 @@
+"""2Q (Johnson & Shasha 1994), byte-budget variant.
+
+Three structures: ``A1in`` (FIFO of first-time entrants, budget ``kin`` of
+capacity), ``A1out`` (ghost FIFO of keys recently expelled from A1in,
+budget ``kout`` of capacity — keys only, no values), and ``Am`` (main LRU).
+A key re-referenced while in the A1out ghost is promoted into Am on its
+next insertion — one-hit wonders never pollute the main queue.  Cited by
+the paper (section 5) among the recency/frequency balancers that ignore
+size and cost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    EvictionError,
+    MissingKeyError,
+)
+from repro.structures import DList, DListNode
+
+__all__ = ["TwoQPolicy"]
+
+
+class _Node(DListNode):
+    __slots__ = ("item", "in_a1in")
+
+    def __init__(self, item: CacheItem) -> None:
+        super().__init__()
+        self.item = item
+        self.in_a1in = True
+
+
+class TwoQPolicy(EvictionPolicy):
+    """Full 2Q with byte-sized A1in/A1out budgets."""
+
+    name = "2q"
+
+    def __init__(self, capacity: int, kin: float = 0.25, kout: float = 0.5) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if not 0 < kin < 1:
+            raise ConfigurationError(f"kin must be in (0, 1), got {kin}")
+        if not 0 < kout:
+            raise ConfigurationError(f"kout must be positive, got {kout}")
+        self._a1in_budget = max(1, int(capacity * kin))
+        self._a1out_budget = max(1, int(capacity * kout))
+        self._a1in = DList()
+        self._a1in_bytes = 0
+        self._am = DList()
+        # ghost: key -> size, insertion-ordered (values are NOT resident)
+        self._a1out: "OrderedDict[str, int]" = OrderedDict()
+        self._a1out_bytes = 0
+        self._nodes: Dict[str, _Node] = {}
+
+    # ------------------------------------------------------------------
+    # ghost maintenance
+    # ------------------------------------------------------------------
+    def _ghost_add(self, key: str, size: int) -> None:
+        self._a1out[key] = size
+        self._a1out_bytes += size
+        while self._a1out_bytes > self._a1out_budget and self._a1out:
+            _, dropped = self._a1out.popitem(last=False)
+            self._a1out_bytes -= dropped
+
+    def _ghost_forget(self, key: str) -> bool:
+        size = self._a1out.pop(key, None)
+        if size is None:
+            return False
+        self._a1out_bytes -= size
+        return True
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def on_hit(self, key: str) -> None:
+        node = self._nodes.get(key)
+        if node is None:
+            raise MissingKeyError(key)
+        if node.in_a1in:
+            # 2Q rule: a hit in A1in does not reorder (it is a FIFO)
+            return
+        self._am.move_to_tail(node)
+
+    def on_insert(self, key: str, size: int, cost: Union[int, float]) -> None:
+        if key in self._nodes:
+            raise DuplicateKeyError(key)
+        node = _Node(CacheItem(key, size, cost))
+        self._nodes[key] = node
+        if self._ghost_forget(key):
+            # seen recently: goes straight to the main queue
+            node.in_a1in = False
+            self._am.append(node)
+        else:
+            self._a1in.append(node)
+            self._a1in_bytes += size
+
+    def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
+        if not self._nodes:
+            raise EvictionError("2Q has nothing to evict")
+        if self._a1in and self._a1in_bytes > self._a1in_budget:
+            node = self._a1in.popleft()
+            self._a1in_bytes -= node.item.size
+            self._ghost_add(node.item.key, node.item.size)
+        elif self._am:
+            node = self._am.popleft()
+        else:
+            node = self._a1in.popleft()
+            self._a1in_bytes -= node.item.size
+            self._ghost_add(node.item.key, node.item.size)
+        del self._nodes[node.item.key]
+        return node.item.key
+
+    def on_remove(self, key: str) -> None:
+        node = self._nodes.pop(key, None)
+        if node is None:
+            raise MissingKeyError(key)
+        if node.in_a1in:
+            self._a1in.remove(node)
+            self._a1in_bytes -= node.item.size
+        else:
+            self._am.remove(node)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def in_ghost(self, key: str) -> bool:
+        return key in self._a1out
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        return {
+            "a1in_bytes": self._a1in_bytes,
+            "a1in_items": len(self._a1in),
+            "am_items": len(self._am),
+            "ghost_items": len(self._a1out),
+        }

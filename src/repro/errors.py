@@ -1,0 +1,47 @@
+"""Exception hierarchy for the CAMP reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """An operation could not be satisfied within the configured capacity."""
+
+
+class EvictionError(ReproError):
+    """An eviction was requested but no victim could be produced."""
+
+
+class DuplicateKeyError(ReproError):
+    """A key was inserted into a policy or store that already tracks it."""
+
+
+class MissingKeyError(ReproError, KeyError):
+    """A key expected to be resident was not found."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file contained a malformed record."""
+
+
+class ProtocolError(ReproError):
+    """A malformed message was seen on the wire protocol."""
+
+
+class AllocationError(CapacityError):
+    """The allocator could not satisfy a memory request."""
+
+
+class ClusterError(ReproError):
+    """A cooperative-cluster operation failed."""

@@ -1,0 +1,37 @@
+"""Experiments: one runnable entry per table/figure in the paper."""
+
+from __future__ import annotations
+
+from repro.experiments.data import (
+    SCALES,
+    ScaleConfig,
+    equisize_trace,
+    evolving_trace,
+    get_scale,
+    primary_trace,
+    varsize_trace,
+)
+
+__all__ = [
+    "SCALES",
+    "ScaleConfig",
+    "get_scale",
+    "primary_trace",
+    "varsize_trace",
+    "equisize_trace",
+    "evolving_trace",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "run_experiment",
+    "list_experiments",
+]
+
+
+def __getattr__(name):
+    # the registry imports every figure module; load it lazily so that
+    # ``import repro.experiments.data`` stays cheap
+    if name in ("EXPERIMENTS", "ExperimentSpec", "run_experiment",
+                "list_experiments"):
+        from repro.experiments import registry
+        return getattr(registry, name)
+    raise AttributeError(name)

@@ -1,0 +1,134 @@
+"""Ablations of the design choices DESIGN.md calls out (not paper figures).
+
+* heap backend/arity — the paper picked an 8-ary implicit heap citing
+  Larkin/Sen/Tarjan; compare 2-ary, 8-ary, pairing and Fibonacci on GDS
+  node visits and wall time.
+* rounding scheme — CAMP's MSB-preserving rounding vs naive low-bit
+  truncation (Table 1's "regular rounding") plugged into CAMP.
+* admission control — the section 6 future-work idea, on CAMP and LRU.
+* competitors — GD-Wheel and GDSF vs CAMP on the primary trace.
+* sharded CAMP — the section 4.1 hash-partitioned variant vs plain CAMP.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis import Table
+from repro.core import (
+    CampPolicy,
+    GdsPolicy,
+    GdsfPolicy,
+    GdWheelPolicy,
+    LruPolicy,
+    SecondHitAdmission,
+    ShardedCampPolicy,
+    round_to_precision,
+    regular_rounding,
+)
+from repro.core.rounding import RatioConverter
+from repro.experiments.data import get_scale, primary_trace
+from repro.sim import run_policy_on_trace, sweep_cache_sizes
+
+__all__ = ["run_heap_ablation", "run_rounding_ablation",
+           "run_admission_ablation", "run_competitor_ablation",
+           "run_sharding_ablation"]
+
+RATIO = 0.25
+
+
+def run_heap_ablation(scale: str = "default") -> List[Table]:
+    trace = primary_trace(scale)
+    table = Table(
+        "Ablation — heap backend under GDS and CAMP (cache ratio 0.25)",
+        ["policy", "backend", "node_visits", "wall_seconds",
+         "cost_miss_ratio"])
+    backends = [("dary-8", dict(heap_kind="dary", arity=8)),
+                ("dary-2", dict(heap_kind="binary")),
+                ("pairing", dict(heap_kind="pairing")),
+                ("fibonacci", dict(heap_kind="fibonacci"))]
+    for label, kwargs in backends:
+        for name, policy in (("gds", GdsPolicy(**kwargs)),
+                             ("camp", CampPolicy(precision=5, **kwargs))):
+            result = run_policy_on_trace(policy, trace, RATIO)
+            table.add_row(name, label,
+                          result.policy_stats["heap_node_visits"],
+                          result.wall_seconds, result.cost_miss_ratio)
+    return [table]
+
+
+class _RegularRoundingCamp(CampPolicy):
+    """CAMP with Table 1's *wrong* rounding (drops low bits unconditionally)."""
+
+    def _rounded_ratio(self, item) -> int:
+        raw = self._converter.to_integer(item.cost, item.size)
+        if self._precision is None:
+            return raw
+        return max(1, regular_rounding(raw, self._precision))
+
+
+def run_rounding_ablation(scale: str = "default") -> List[Table]:
+    trace = primary_trace(scale)
+    table = Table(
+        "Ablation — CAMP's MSB rounding vs regular truncation",
+        ["scheme", "precision", "queues", "cost_miss_ratio"])
+    for precision in (2, 4, 6, 8):
+        for scheme, cls in (("camp-msb", CampPolicy),
+                            ("regular", _RegularRoundingCamp)):
+            policy = cls(precision=precision)
+            result = run_policy_on_trace(policy, trace, RATIO)
+            table.add_row(scheme, precision,
+                          result.policy_stats["queue_count"],
+                          result.cost_miss_ratio)
+    return [table]
+
+
+def run_admission_ablation(scale: str = "default") -> List[Table]:
+    trace = primary_trace(scale)
+    table = Table(
+        "Ablation — second-hit admission control (section 6 future work)",
+        ["policy", "admission", "miss_rate", "cost_miss_ratio",
+         "evictions"])
+    for name, factory in (("camp", lambda: CampPolicy(precision=5)),
+                          ("lru", lambda: LruPolicy())):
+        for admission_label, admission in (
+                ("none", None),
+                ("second-hit", SecondHitAdmission(window=5000))):
+            result = run_policy_on_trace(factory(), trace, RATIO,
+                                         admission=admission)
+            table.add_row(name, admission_label, result.miss_rate,
+                          result.cost_miss_ratio, result.evictions)
+    return [table]
+
+
+def run_competitor_ablation(scale: str = "default") -> List[Table]:
+    config = get_scale(scale)
+    trace = primary_trace(scale)
+    factories = {
+        "camp(p=5)": lambda capacity: CampPolicy(precision=5),
+        "gd-wheel": lambda capacity: GdWheelPolicy(),
+        "gdsf": lambda capacity: GdsfPolicy(),
+        "lru": lambda capacity: LruPolicy(),
+    }
+    sweep = sweep_cache_sizes(trace, factories,
+                              cache_size_ratios=config.cache_ratios)
+    table = Table(
+        "Ablation — CAMP vs GD-Wheel vs GDSF (cost-miss ratio)",
+        ["cache_size_ratio"] + list(factories))
+    for ratio in config.cache_ratios:
+        table.add_row(ratio, *[sweep.lookup(name, ratio).cost_miss_ratio
+                               for name in factories])
+    return [table]
+
+
+def run_sharding_ablation(scale: str = "default") -> List[Table]:
+    trace = primary_trace(scale)
+    table = Table(
+        "Ablation — hash-partitioned CAMP (section 4.1)",
+        ["shards", "miss_rate", "cost_miss_ratio", "wall_seconds"])
+    for shards in (1, 2, 4, 8):
+        policy = ShardedCampPolicy(shards=shards, precision=5)
+        result = run_policy_on_trace(policy, trace, RATIO)
+        table.add_row(shards, result.miss_rate, result.cost_miss_ratio,
+                      result.wall_seconds)
+    return [table]

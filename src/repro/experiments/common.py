@@ -1,0 +1,60 @@
+"""Policy factories shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core import (
+    CampPolicy,
+    EvictionPolicy,
+    GdsPolicy,
+    LruPolicy,
+    PooledLruPolicy,
+    cost_proportional_fractions,
+    pools_from_cost_ranges,
+    pools_from_cost_values,
+)
+from repro.workloads.trace import Trace
+
+__all__ = ["camp_factory", "gds_factory", "lru_factory",
+           "pooled_cost_factory", "pooled_uniform_factory",
+           "pooled_range_floor_factory"]
+
+
+def camp_factory(precision: Optional[int] = 5
+                 ) -> Callable[[int], EvictionPolicy]:
+    return lambda capacity: CampPolicy(precision=precision)
+
+
+def gds_factory() -> Callable[[int], EvictionPolicy]:
+    return lambda capacity: GdsPolicy()
+
+
+def lru_factory() -> Callable[[int], EvictionPolicy]:
+    return lambda capacity: LruPolicy()
+
+
+def pooled_cost_factory(trace: Trace) -> Callable[[int], EvictionPolicy]:
+    """Section 3's oracle: one pool per distinct cost value, budgets
+    proportional to the total cost of the trace's requests per value."""
+    histogram = trace.cost_histogram()
+    fractions = cost_proportional_fractions(histogram.items())
+    values = sorted(fractions)
+    pools = pools_from_cost_values(values, [fractions[v] for v in values])
+    return lambda capacity: PooledLruPolicy(capacity, pools)
+
+
+def pooled_uniform_factory(trace: Trace) -> Callable[[int], EvictionPolicy]:
+    """Uniform partitioning across the trace's distinct cost values."""
+    values = sorted(trace.cost_histogram())
+    fractions = [1.0 / len(values)] * len(values)
+    pools = pools_from_cost_values(values, fractions)
+    return lambda capacity: PooledLruPolicy(capacity, pools)
+
+
+def pooled_range_floor_factory() -> Callable[[int], EvictionPolicy]:
+    """Section 3.2's ranges [1,100), [100,10K), [10K,inf), budgets
+    proportional to each range's lowest cost."""
+    pools = pools_from_cost_ranges([(0, 100), (100, 10_000),
+                                    (10_000, float("inf"))])
+    return lambda capacity: PooledLruPolicy(capacity, pools)

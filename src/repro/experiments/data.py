@@ -1,0 +1,112 @@
+"""Shared experiment configuration: scales and cached default traces.
+
+The paper's traces are ~4 M rows over the BG key population; a pure-Python
+re-run of every figure at that scale takes hours, so experiments accept a
+``scale``:
+
+* ``tiny``    — smoke-test scale used by the unit tests,
+* ``default`` — minutes-scale runs used by the benchmark harness; large
+  enough that every qualitative claim (orderings, crossovers, trends)
+  is reproduced,
+* ``full``    — the paper's row counts, for CLI users with patience.
+
+Traces are deterministic in (scale, kind) and cached per process so a
+benchmark sweep does not regenerate them per policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    equal_size_variable_cost_trace,
+    phased_trace,
+    three_cost_trace,
+    variable_size_constant_cost_trace,
+)
+from repro.workloads.trace import Trace
+
+__all__ = ["ScaleConfig", "SCALES", "get_scale", "primary_trace",
+           "varsize_trace", "equisize_trace", "evolving_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleConfig:
+    """Workload sizes for one experiment scale."""
+
+    name: str
+    n_keys: int
+    n_requests: int
+    phases: int
+    phase_keys: int
+    phase_requests: int
+    cache_ratios: Tuple[float, ...]
+    occupancy_sample_every: int
+    precisions: Tuple[object, ...] = (1, 2, 3, 4, 5, 6, 8, 10, None)
+
+
+SCALES: Dict[str, ScaleConfig] = {
+    "tiny": ScaleConfig(
+        name="tiny", n_keys=300, n_requests=5_000,
+        phases=3, phase_keys=150, phase_requests=1_500,
+        cache_ratios=(0.1, 0.25, 0.5),
+        occupancy_sample_every=200,
+        precisions=(1, 3, 5, None),
+    ),
+    "default": ScaleConfig(
+        name="default", n_keys=2_000, n_requests=60_000,
+        phases=5, phase_keys=1_000, phase_requests=20_000,
+        cache_ratios=(0.05, 0.1, 0.25, 0.5, 0.75),
+        occupancy_sample_every=1_000,
+    ),
+    "full": ScaleConfig(
+        name="full", n_keys=50_000, n_requests=4_000_000,
+        phases=10, phase_keys=20_000, phase_requests=400_000,
+        cache_ratios=(0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0),
+        occupancy_sample_every=20_000,
+    ),
+}
+
+
+def get_scale(name: str) -> ScaleConfig:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}") from None
+
+
+@lru_cache(maxsize=None)
+def primary_trace(scale: str) -> Trace:
+    """The paper's primary workload: BG-shaped skew, costs {1, 100, 10K}."""
+    config = get_scale(scale)
+    return three_cost_trace(n_keys=config.n_keys,
+                            n_requests=config.n_requests, seed=42)
+
+
+@lru_cache(maxsize=None)
+def varsize_trace(scale: str) -> Trace:
+    """Variable sizes, constant cost (Figure 7)."""
+    config = get_scale(scale)
+    return variable_size_constant_cost_trace(
+        n_keys=config.n_keys, n_requests=config.n_requests, seed=43)
+
+
+@lru_cache(maxsize=None)
+def equisize_trace(scale: str) -> Trace:
+    """Equal sizes, many distinct costs (Figure 8)."""
+    config = get_scale(scale)
+    return equal_size_variable_cost_trace(
+        n_keys=config.n_keys, n_requests=config.n_requests, seed=44)
+
+
+@lru_cache(maxsize=None)
+def evolving_trace(scale: str) -> Trace:
+    """TF1..TFn back-to-back with disjoint keys (section 3.1)."""
+    config = get_scale(scale)
+    return phased_trace(phases=config.phases,
+                        requests_per_phase=config.phase_requests,
+                        n_keys=config.phase_keys, seed=45)

@@ -1,0 +1,41 @@
+"""Figure 4: visited heap nodes vs cache size ratio, GDS vs CAMP.
+
+The paper's claim: GDS's visit count *grows* with cache size (its heap
+holds every resident pair), CAMP's *shrinks* (its heap holds one node per
+non-empty LRU queue, and a bigger cache means fewer evictions to process),
+with CAMP orders of magnitude below GDS throughout.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis import Table
+from repro.experiments.common import camp_factory, gds_factory
+from repro.experiments.data import get_scale, primary_trace
+from repro.sim import sweep_cache_sizes
+
+__all__ = ["run"]
+
+
+def run(scale: str = "default") -> List[Table]:
+    config = get_scale(scale)
+    trace = primary_trace(scale)
+    sweep = sweep_cache_sizes(
+        trace,
+        {"gds": gds_factory(), "camp(p=5)": camp_factory(5)},
+        cache_size_ratios=config.cache_ratios,
+        extra_stats=("heap_node_visits", "heap_size"))
+    table = Table(
+        "Figure 4 — visited heap nodes vs cache size ratio",
+        ["cache_size_ratio", "gds_node_visits", "camp_node_visits",
+         "visit_ratio_gds_over_camp", "gds_heap_size", "camp_queues"])
+    for ratio in config.cache_ratios:
+        gds = sweep.lookup("gds", ratio)
+        camp = sweep.lookup("camp(p=5)", ratio)
+        gds_visits = gds.extra["heap_node_visits"]
+        camp_visits = camp.extra["heap_node_visits"]
+        table.add_row(ratio, gds_visits, camp_visits,
+                      gds_visits / max(camp_visits, 1),
+                      gds.extra["heap_size"], camp.extra["heap_size"])
+    return [table]

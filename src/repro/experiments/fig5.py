@@ -1,0 +1,110 @@
+"""Figure 5: the primary simulation study on the three-cost trace.
+
+* 5a — cost-miss ratio vs CAMP precision (three cache sizes; ∞ = GDS):
+  nearly flat, CAMP ≈ GDS at every precision.
+* 5b — number of non-empty LRU queues vs precision.
+* 5c — cost-miss ratio vs cache size ratio: CAMP best; cost-partitioned
+  Pooled LRU between CAMP and LRU, converging to CAMP at large caches;
+  uniform Pooled LRU ≈ LRU.
+* 5d — miss rate vs cache size ratio: cost-partitioned Pooled LRU far
+  worse than everything (its cheap pool misses ~always); CAMP ≈ LRU.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis import Table
+from repro.core import CampPolicy
+from repro.experiments.common import (
+    camp_factory,
+    lru_factory,
+    pooled_cost_factory,
+    pooled_uniform_factory,
+)
+from repro.experiments.data import get_scale, primary_trace
+from repro.sim import sweep_cache_sizes, sweep_parameter
+
+__all__ = ["run", "run_5a", "run_5b", "run_5cd"]
+
+#: the three cache sizes of Figures 5a/5b
+PRECISION_SWEEP_RATIOS = (0.1, 0.25, 0.5)
+
+
+def _precision_label(value) -> str:
+    return "inf(GDS)" if value is None else str(value)
+
+
+def run_5a(scale: str = "default") -> Table:
+    config = get_scale(scale)
+    trace = primary_trace(scale)
+    table = Table(
+        "Figure 5a — cost-miss ratio vs precision (∞ ≡ GDS)",
+        ["precision"] + [f"ratio={r}" for r in PRECISION_SWEEP_RATIOS])
+    sweeps = {
+        ratio: sweep_parameter(
+            trace,
+            build=lambda p, capacity: CampPolicy(precision=p),
+            values=config.precisions,
+            cache_size_ratio=ratio)
+        for ratio in PRECISION_SWEEP_RATIOS
+    }
+    for precision in config.precisions:
+        row = [_precision_label(precision)]
+        for ratio in PRECISION_SWEEP_RATIOS:
+            row.append(sweeps[ratio].lookup("camp", precision).cost_miss_ratio)
+        table.add_row(*row)
+    return table
+
+
+def run_5b(scale: str = "default") -> Table:
+    config = get_scale(scale)
+    trace = primary_trace(scale)
+    table = Table(
+        "Figure 5b — number of LRU queues vs precision",
+        ["precision"] + [f"ratio={r}" for r in PRECISION_SWEEP_RATIOS])
+    sweeps = {
+        ratio: sweep_parameter(
+            trace,
+            build=lambda p, capacity: CampPolicy(precision=p),
+            values=config.precisions,
+            cache_size_ratio=ratio,
+            extra_stats=("queue_count",))
+        for ratio in PRECISION_SWEEP_RATIOS
+    }
+    for precision in config.precisions:
+        row = [_precision_label(precision)]
+        for ratio in PRECISION_SWEEP_RATIOS:
+            row.append(sweeps[ratio].lookup("camp", precision)
+                       .extra["queue_count"])
+        table.add_row(*row)
+    return table
+
+
+def run_5cd(scale: str = "default") -> List[Table]:
+    config = get_scale(scale)
+    trace = primary_trace(scale)
+    factories = {
+        "camp(p=5)": camp_factory(5),
+        "lru": lru_factory(),
+        "pooled-cost": pooled_cost_factory(trace),
+        "pooled-uniform": pooled_uniform_factory(trace),
+    }
+    sweep = sweep_cache_sizes(trace, factories,
+                              cache_size_ratios=config.cache_ratios)
+    cost_table = Table(
+        "Figure 5c — cost-miss ratio vs cache size ratio (precision 5)",
+        ["cache_size_ratio"] + list(factories))
+    miss_table = Table(
+        "Figure 5d — miss rate vs cache size ratio (precision 5)",
+        ["cache_size_ratio"] + list(factories))
+    for ratio in config.cache_ratios:
+        cost_table.add_row(ratio, *[sweep.lookup(name, ratio).cost_miss_ratio
+                                    for name in factories])
+        miss_table.add_row(ratio, *[sweep.lookup(name, ratio).miss_rate
+                                    for name in factories])
+    return [cost_table, miss_table]
+
+
+def run(scale: str = "default") -> List[Table]:
+    return [run_5a(scale), run_5b(scale)] + run_5cd(scale)

@@ -1,0 +1,79 @@
+"""Figure 8: equi-sized pairs with many distinct costs (section 3.2).
+
+* 8a — CAMP gives the best cost-miss ratio; the range-partitioned Pooled
+  LRU is competitive at small cache ratios and inferior at large ones.
+* 8b — CAMP's miss rate is slightly *worse* than LRU at small caches (it
+  deliberately favors costly pairs).
+* 8c — with far more distinct cost values than the three-cost trace, CAMP
+  builds many more queues at high precision; rounding collapses the two
+  traces' queue counts together at low precision.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis import Table
+from repro.core import CampPolicy
+from repro.experiments.common import (
+    camp_factory,
+    lru_factory,
+    pooled_range_floor_factory,
+)
+from repro.experiments.data import equisize_trace, get_scale, primary_trace
+from repro.sim import sweep_cache_sizes, sweep_parameter
+
+__all__ = ["run", "run_8ab", "run_8c"]
+
+
+def run_8ab(scale: str = "default") -> List[Table]:
+    config = get_scale(scale)
+    trace = equisize_trace(scale)
+    factories = {
+        "camp(p=5)": camp_factory(5),
+        "lru": lru_factory(),
+        "pooled-range": pooled_range_floor_factory(),
+    }
+    sweep = sweep_cache_sizes(trace, factories,
+                              cache_size_ratios=config.cache_ratios)
+    cost_table = Table(
+        "Figure 8a — cost-miss ratio vs cache size ratio (equi-sized)",
+        ["cache_size_ratio"] + list(factories))
+    miss_table = Table(
+        "Figure 8b — miss rate vs cache size ratio (equi-sized)",
+        ["cache_size_ratio"] + list(factories))
+    for ratio in config.cache_ratios:
+        cost_table.add_row(ratio, *[sweep.lookup(name, ratio).cost_miss_ratio
+                                    for name in factories])
+        miss_table.add_row(ratio, *[sweep.lookup(name, ratio).miss_rate
+                                    for name in factories])
+    return [cost_table, miss_table]
+
+
+def run_8c(scale: str = "default") -> Table:
+    config = get_scale(scale)
+    ratio = 0.25
+    table = Table(
+        "Figure 8c — number of LRU queues vs precision "
+        "(equi-size/many-costs vs three-cost trace)",
+        ["precision", "equisize_queues", "threecost_queues"])
+    sweeps = {}
+    for label, trace in (("equi", equisize_trace(scale)),
+                         ("three", primary_trace(scale))):
+        sweeps[label] = sweep_parameter(
+            trace,
+            build=lambda p, capacity: CampPolicy(precision=p),
+            values=config.precisions,
+            cache_size_ratio=ratio,
+            extra_stats=("queue_count",))
+    for precision in config.precisions:
+        label = "inf(GDS)" if precision is None else str(precision)
+        table.add_row(
+            label,
+            sweeps["equi"].lookup("camp", precision).extra["queue_count"],
+            sweeps["three"].lookup("camp", precision).extra["queue_count"])
+    return table
+
+
+def run(scale: str = "default") -> List[Table]:
+    return run_8ab(scale) + [run_8c(scale)]

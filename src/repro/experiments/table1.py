@@ -1,0 +1,29 @@
+"""Table 1: regular vs CAMP rounding at binary precision 4."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis import Table
+from repro.core import regular_rounding, round_to_precision
+
+__all__ = ["run"]
+
+#: the exact binary literals printed in the paper's Table 1
+EXAMPLES = (0b101101011, 0b001010011, 0b000001010, 0b000000111)
+PRECISION = 4
+WIDTH = 9
+
+
+def run(scale: str = "default") -> List[Table]:
+    """Regenerate Table 1 (scale-independent)."""
+    table = Table(
+        "Table 1 — rounding with (binary) precision 4",
+        ["value", "regular rounding", "CAMP rounding"])
+    for value in EXAMPLES:
+        table.add_row(
+            format(value, f"0{WIDTH}b"),
+            format(regular_rounding(value, PRECISION), f"0{WIDTH}b"),
+            format(round_to_precision(value, PRECISION), f"0{WIDTH}b"),
+        )
+    return [table]

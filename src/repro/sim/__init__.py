@@ -1,0 +1,26 @@
+"""Trace-driven simulation and parameter sweeps (the section 3 harness)."""
+
+from __future__ import annotations
+
+from repro.sim.compare import AgreementResult, eviction_agreement
+from repro.sim.runner import (
+    PolicyFactory,
+    SweepPoint,
+    SweepResult,
+    sweep_cache_sizes,
+    sweep_parameter,
+)
+from repro.sim.simulator import SimulationResult, run_policy_on_trace, simulate
+
+__all__ = [
+    "AgreementResult",
+    "eviction_agreement",
+    "simulate",
+    "run_policy_on_trace",
+    "SimulationResult",
+    "SweepPoint",
+    "SweepResult",
+    "PolicyFactory",
+    "sweep_cache_sizes",
+    "sweep_parameter",
+]

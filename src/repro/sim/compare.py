@@ -1,0 +1,89 @@
+"""Decision-agreement measurement between two eviction policies.
+
+The paper's core approximation claim — "CAMP's eviction decisions are
+essentially equivalent to those made by GDS" at high precision — is about
+*decisions*, not just end metrics.  :func:`eviction_agreement` drives two
+policies through the identical capacity-bounded request stream and
+reports how often their eviction choices coincide, position by position,
+plus the overlap of their final resident sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from repro.core.policy import EvictionPolicy
+from repro.errors import ConfigurationError
+from repro.workloads.trace import TraceRecord
+
+__all__ = ["AgreementResult", "eviction_agreement"]
+
+
+@dataclass(frozen=True, slots=True)
+class AgreementResult:
+    """Outcome of comparing two policies on one trace."""
+
+    evictions_a: int
+    evictions_b: int
+    matching_prefix: int         # identical decisions up to this position
+    positional_agreement: float  # fraction of aligned positions that match
+    resident_jaccard: float      # |A∩B| / |A∪B| of final resident sets
+
+    @property
+    def identical(self) -> bool:
+        return (self.evictions_a == self.evictions_b ==
+                self.matching_prefix and self.resident_jaccard == 1.0)
+
+
+def _drive(policy: EvictionPolicy, records: List[TraceRecord],
+           max_resident: int) -> (List[str], Set[str]):
+    evictions: List[str] = []
+    sizes = {}
+    costs = {}
+    for record in records:
+        size = sizes.setdefault(record.key, record.size)
+        cost = costs.setdefault(record.key, record.cost)
+        if record.key in policy:
+            policy.on_hit(record.key)
+        else:
+            while len(policy) >= max_resident:
+                evictions.append(policy.pop_victim())
+            policy.on_insert(record.key, size, cost)
+    resident = {record.key for record in records if record.key in policy}
+    return evictions, resident
+
+
+def eviction_agreement(policy_a: EvictionPolicy,
+                       policy_b: EvictionPolicy,
+                       trace: Iterable[TraceRecord],
+                       max_resident: int = 100) -> AgreementResult:
+    """Compare two policies' eviction streams on the same trace.
+
+    Both policies see a slot-bounded cache of ``max_resident`` items (the
+    byte-exact store would let byte-size differences desynchronize the
+    comparison, hiding the decision-level signal).
+    """
+    if max_resident < 1:
+        raise ConfigurationError(
+            f"max_resident must be >= 1, got {max_resident}")
+    records = list(trace)
+    evictions_a, resident_a = _drive(policy_a, records, max_resident)
+    evictions_b, resident_b = _drive(policy_b, records, max_resident)
+
+    aligned = min(len(evictions_a), len(evictions_b))
+    matches = sum(1 for a, b in zip(evictions_a, evictions_b) if a == b)
+    prefix = 0
+    for a, b in zip(evictions_a, evictions_b):
+        if a != b:
+            break
+        prefix += 1
+    union = resident_a | resident_b
+    jaccard = (len(resident_a & resident_b) / len(union)) if union else 1.0
+    return AgreementResult(
+        evictions_a=len(evictions_a),
+        evictions_b=len(evictions_b),
+        matching_prefix=prefix,
+        positional_agreement=(matches / aligned) if aligned else 1.0,
+        resident_jaccard=jaccard,
+    )

@@ -1,0 +1,137 @@
+"""Parameter sweeps: (policy × cache-size-ratio) and (policy × precision).
+
+Every figure in the paper's evaluation is one of these two sweep shapes;
+the experiment modules (``repro.experiments``) parameterize them per
+figure and format the output with ``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.policy import EvictionPolicy
+from repro.errors import ConfigurationError
+from repro.sim.simulator import SimulationResult, run_policy_on_trace
+from repro.workloads.trace import Trace
+
+__all__ = ["SweepPoint", "SweepResult", "PolicyFactory", "sweep_cache_sizes",
+           "sweep_parameter"]
+
+# a factory builds a fresh policy for a store of the given byte capacity
+PolicyFactory = Callable[[int], EvictionPolicy]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One (policy, x-value) simulation outcome."""
+
+    policy: str
+    x: Union[int, float, str, None]
+    miss_rate: float
+    cost_miss_ratio: float
+    evictions: int
+    wall_seconds: float
+    extra: Dict[str, Union[int, float]] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """A grid of sweep points, indexable by policy and x."""
+
+    x_label: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add(self, point: SweepPoint) -> None:
+        self.points.append(point)
+
+    def policies(self) -> List[str]:
+        seen: List[str] = []
+        for point in self.points:
+            if point.policy not in seen:
+                seen.append(point.policy)
+        return seen
+
+    def xs(self) -> List[Union[int, float, str, None]]:
+        seen: List[Union[int, float, str, None]] = []
+        for point in self.points:
+            if point.x not in seen:
+                seen.append(point.x)
+        return seen
+
+    def series(self, policy: str, metric: str = "cost_miss_ratio"
+               ) -> List[tuple]:
+        """(x, metric) pairs for one policy."""
+        out = []
+        for point in self.points:
+            if point.policy == policy:
+                value = getattr(point, metric, None)
+                if value is None:
+                    value = point.extra.get(metric)
+                out.append((point.x, value))
+        return out
+
+    def lookup(self, policy: str, x: Union[int, float, str, None]
+               ) -> SweepPoint:
+        for point in self.points:
+            if point.policy == policy and point.x == x:
+                return point
+        raise KeyError((policy, x))
+
+
+def sweep_cache_sizes(trace: Trace,
+                      factories: Dict[str, PolicyFactory],
+                      cache_size_ratios: Sequence[float],
+                      sample_every: Optional[int] = None,
+                      track_occupancy: bool = False,
+                      extra_stats: Sequence[str] = ()) -> SweepResult:
+    """Run every policy at every cache size ratio over the same trace."""
+    if not factories:
+        raise ConfigurationError("at least one policy factory is required")
+    result = SweepResult(x_label="cache_size_ratio")
+    for ratio in cache_size_ratios:
+        capacity = trace.capacity_for_ratio(ratio)
+        for name, factory in factories.items():
+            policy = factory(capacity)
+            sim = run_policy_on_trace(policy, trace, ratio,
+                                      sample_every=sample_every,
+                                      track_occupancy=track_occupancy)
+            result.add(_to_point(name, ratio, sim, extra_stats))
+    return result
+
+
+def sweep_parameter(trace: Trace,
+                    build: Callable[[Union[int, float, str, None], int],
+                                    EvictionPolicy],
+                    values: Sequence[Union[int, float, str, None]],
+                    cache_size_ratio: float,
+                    policy_label: str = "camp",
+                    extra_stats: Sequence[str] = ()) -> SweepResult:
+    """Sweep an arbitrary policy parameter (e.g. CAMP's precision) at a
+    fixed cache size; ``build(value, capacity)`` constructs the policy."""
+    result = SweepResult(x_label="parameter")
+    capacity = trace.capacity_for_ratio(cache_size_ratio)
+    for value in values:
+        policy = build(value, capacity)
+        sim = run_policy_on_trace(policy, trace, cache_size_ratio)
+        result.add(_to_point(policy_label, value, sim, extra_stats))
+    return result
+
+
+def _to_point(name: str,
+              x: Union[int, float, str, None],
+              sim: SimulationResult,
+              extra_stats: Sequence[str]) -> SweepPoint:
+    extra: Dict[str, Union[int, float]] = {}
+    for stat in extra_stats:
+        if stat in sim.policy_stats:
+            extra[stat] = sim.policy_stats[stat]
+    return SweepPoint(
+        policy=name,
+        x=x,
+        miss_rate=sim.miss_rate,
+        cost_miss_ratio=sim.cost_miss_ratio,
+        evictions=sim.evictions,
+        wall_seconds=sim.wall_seconds,
+        extra=extra,
+    )

@@ -1,0 +1,111 @@
+"""The trace-driven simulator of section 3.
+
+For each trace record the request generator asks the KVS for the key; on a
+miss it inserts the (key, size, cost) pair, which may trigger evictions.
+Metrics exclude each key's first (cold) request.  Optionally samples the
+per-namespace memory occupancy for the Figure 6c/6d time series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.cache.kvs import KVS
+from repro.cache.metrics import OccupancyTracker, SimulationMetrics
+from repro.core.admission import AdmissionController
+from repro.core.policy import EvictionPolicy
+from repro.errors import ConfigurationError
+from repro.workloads.trace import Trace, TraceRecord
+
+__all__ = ["SimulationResult", "simulate", "run_policy_on_trace"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    metrics: SimulationMetrics
+    policy_stats: Dict[str, Union[int, float]]
+    capacity: int
+    evictions: int
+    rejected_too_large: int
+    rejected_admission: int
+    wall_seconds: float
+    occupancy: Optional[OccupancyTracker] = None
+
+    @property
+    def miss_rate(self) -> float:
+        return self.metrics.miss_rate
+
+    @property
+    def cost_miss_ratio(self) -> float:
+        return self.metrics.cost_miss_ratio
+
+    def summary(self) -> Dict[str, float]:
+        out = dict(self.metrics.as_dict())
+        out["capacity"] = self.capacity
+        out["evictions"] = self.evictions
+        out["wall_seconds"] = self.wall_seconds
+        return out
+
+
+def simulate(kvs: KVS,
+             trace: Iterable[TraceRecord],
+             sample_every: Optional[int] = None,
+             occupancy: Optional[OccupancyTracker] = None
+             ) -> SimulationResult:
+    """Run one trace through one KVS; returns metrics and policy stats.
+
+    ``sample_every`` (with ``occupancy``) records a namespace-occupancy
+    sample every N requests — the time axis of Figures 6c/6d.
+    """
+    if sample_every is not None and sample_every < 1:
+        raise ConfigurationError(
+            f"sample_every must be >= 1, got {sample_every}")
+    if occupancy is not None:
+        kvs.add_listener(occupancy)
+    metrics = SimulationMetrics()
+    started = time.perf_counter()
+    index = 0
+    for record in trace:
+        hit = kvs.get(record.key)
+        metrics.record(record.key, record.size, record.cost, hit)
+        if not hit:
+            kvs.put(record.key, record.size, record.cost)
+        index += 1
+        if occupancy is not None and sample_every and index % sample_every == 0:
+            occupancy.sample(index)
+    elapsed = time.perf_counter() - started
+    return SimulationResult(
+        metrics=metrics,
+        policy_stats=kvs.policy.stats(),
+        capacity=kvs.capacity,
+        evictions=kvs.eviction_count,
+        rejected_too_large=kvs.rejected_too_large,
+        rejected_admission=kvs.rejected_admission,
+        wall_seconds=elapsed,
+        occupancy=occupancy,
+    )
+
+
+def run_policy_on_trace(policy: EvictionPolicy,
+                        trace: Trace,
+                        cache_size_ratio: float,
+                        admission: Optional[AdmissionController] = None,
+                        sample_every: Optional[int] = None,
+                        track_occupancy: bool = False) -> SimulationResult:
+    """Convenience wrapper: build the KVS at a *cache size ratio* and run.
+
+    The cache size ratio is "the size of the KVS memory divided by the
+    total size of the unique objects in the trace file" (section 3).
+    """
+    if cache_size_ratio <= 0:
+        raise ConfigurationError(
+            f"cache_size_ratio must be positive, got {cache_size_ratio}")
+    capacity = trace.capacity_for_ratio(cache_size_ratio)
+    kvs = KVS(capacity, policy, admission=admission)
+    tracker = OccupancyTracker(capacity) if track_occupancy else None
+    return simulate(kvs, trace, sample_every=sample_every,
+                    occupancy=tracker)

@@ -1,0 +1,173 @@
+"""Intrusive doubly-linked list.
+
+This is the substrate for every LRU queue in the library.  The list is
+*intrusive*: elements are :class:`DListNode` instances (or subclasses that
+carry a payload), so membership, removal and moves are O(1) without any
+auxiliary map.  A sentinel node keeps all link manipulation branch-free.
+
+CAMP (paper section 2) relies on exactly this property: a cache hit moves a
+node to the tail of its LRU queue in constant time, and only the queue *head*
+ever participates in the heap of queues.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["DListNode", "DList"]
+
+
+class DListNode:
+    """A node that can live in at most one :class:`DList` at a time.
+
+    Subclass it to attach a payload; the base class only carries links.
+    """
+
+    __slots__ = ("prev", "next", "_list")
+
+    def __init__(self) -> None:
+        self.prev: Optional[DListNode] = None
+        self.next: Optional[DListNode] = None
+        self._list: Optional[DList] = None
+
+    @property
+    def linked(self) -> bool:
+        """True while the node is a member of some list."""
+        return self._list is not None
+
+
+class DList:
+    """A doubly-linked list of :class:`DListNode` with O(1) removal.
+
+    The head is the *least recently appended* element; :meth:`append` pushes
+    to the tail.  Used as an LRU queue: head = eviction candidate.
+    """
+
+    __slots__ = ("_sentinel", "_size")
+
+    def __init__(self) -> None:
+        self._sentinel = DListNode()
+        self._sentinel.prev = self._sentinel
+        self._sentinel.next = self._sentinel
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def head(self) -> Optional[DListNode]:
+        """The node at the front (next eviction candidate), or ``None``."""
+        if self._size == 0:
+            return None
+        return self._sentinel.next
+
+    @property
+    def tail(self) -> Optional[DListNode]:
+        """The node at the back (most recently appended), or ``None``."""
+        if self._size == 0:
+            return None
+        return self._sentinel.prev
+
+    def append(self, node: DListNode) -> None:
+        """Insert ``node`` at the tail (most-recent end)."""
+        if node._list is not None:
+            raise ReproError("node is already linked into a list")
+        last = self._sentinel.prev
+        assert last is not None
+        node.prev = last
+        node.next = self._sentinel
+        last.next = node
+        self._sentinel.prev = node
+        node._list = self
+        self._size += 1
+
+    def appendleft(self, node: DListNode) -> None:
+        """Insert ``node`` at the head (least-recent end)."""
+        if node._list is not None:
+            raise ReproError("node is already linked into a list")
+        first = self._sentinel.next
+        assert first is not None
+        node.next = first
+        node.prev = self._sentinel
+        first.prev = node
+        self._sentinel.next = node
+        node._list = self
+        self._size += 1
+
+    def insert_after(self, anchor: DListNode, node: DListNode) -> None:
+        """Insert ``node`` immediately after ``anchor`` (which must be linked here)."""
+        if anchor._list is not self:
+            raise ReproError("anchor does not belong to this list")
+        if node._list is not None:
+            raise ReproError("node is already linked into a list")
+        nxt = anchor.next
+        assert nxt is not None
+        node.prev = anchor
+        node.next = nxt
+        anchor.next = node
+        nxt.prev = node
+        node._list = self
+        self._size += 1
+
+    def remove(self, node: DListNode) -> None:
+        """Unlink ``node`` from this list in O(1)."""
+        if node._list is not self:
+            raise ReproError("node does not belong to this list")
+        prev, nxt = node.prev, node.next
+        assert prev is not None and nxt is not None
+        prev.next = nxt
+        nxt.prev = prev
+        node.prev = None
+        node.next = None
+        node._list = None
+        self._size -= 1
+
+    def popleft(self) -> DListNode:
+        """Remove and return the head node."""
+        node = self.head
+        if node is None:
+            raise ReproError("popleft from an empty DList")
+        self.remove(node)
+        return node
+
+    def pop(self) -> DListNode:
+        """Remove and return the tail node."""
+        node = self.tail
+        if node is None:
+            raise ReproError("pop from an empty DList")
+        self.remove(node)
+        return node
+
+    def move_to_tail(self, node: DListNode) -> None:
+        """Move an already-linked node to the tail (the LRU 'touch')."""
+        if node._list is not self:
+            raise ReproError("node does not belong to this list")
+        if self._sentinel.prev is node:
+            return
+        self.remove(node)
+        self.append(node)
+
+    def successor(self, node: DListNode) -> Optional[DListNode]:
+        """The node after ``node``, or ``None`` if it is the tail."""
+        if node._list is not self:
+            raise ReproError("node does not belong to this list")
+        nxt = node.next
+        return None if nxt is self._sentinel else nxt
+
+    def clear(self) -> None:
+        """Unlink every node."""
+        while self._size:
+            self.popleft()
+
+    def __iter__(self) -> Iterator[DListNode]:
+        node = self._sentinel.next
+        while node is not self._sentinel:
+            assert node is not None
+            nxt = node.next  # allow removal of the yielded node mid-iteration
+            yield node
+            node = nxt

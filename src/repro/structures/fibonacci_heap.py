@@ -1,0 +1,335 @@
+"""Fibonacci heap with the addressable-heap interface.
+
+The paper cites Fredman & Tarjan's Fibonacci heap as the textbook priority
+queue a straightforward GDS implementation would use.  We provide it as a
+third interchangeable backend (with :class:`~repro.structures.dary_heap.DaryHeap`
+and :class:`~repro.structures.pairing_heap.PairingHeap`) for the heap
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, List, Optional, TypeVar
+
+from repro.errors import ReproError
+
+__all__ = ["FibEntry", "FibonacciHeap"]
+
+T = TypeVar("T")
+
+
+class _NegativeInfinity:
+    """Compares below every other priority; used to implement delete()."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return True
+
+    def __le__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __ge__(self, other: Any) -> bool:
+        return other is self
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "-inf"
+
+
+_NEG_INF = _NegativeInfinity()
+
+
+class FibEntry(Generic[T]):
+    """Handle to a Fibonacci-heap node (circular doubly-linked root lists)."""
+
+    __slots__ = ("priority", "item", "parent", "child", "left", "right",
+                 "degree", "mark", "in_heap")
+
+    def __init__(self, priority: Any, item: T) -> None:
+        self.priority = priority
+        self.item = item
+        self.parent: Optional[FibEntry[T]] = None
+        self.child: Optional[FibEntry[T]] = None
+        self.left: FibEntry[T] = self
+        self.right: FibEntry[T] = self
+        self.degree = 0
+        self.mark = False
+        self.in_heap = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FibEntry(priority={self.priority!r}, item={self.item!r})"
+
+
+class FibonacciHeap(Generic[T]):
+    """Min Fibonacci heap: O(1) insert/decrease-key, O(log n) extract-min."""
+
+    __slots__ = ("_min", "_size", "node_visits")
+
+    def __init__(self) -> None:
+        self._min: Optional[FibEntry[T]] = None
+        self._size = 0
+        self.node_visits = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, entry: FibEntry[T]) -> bool:
+        return entry.in_heap
+
+    def reset_visits(self) -> None:
+        self.node_visits = 0
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def push(self, entry: FibEntry[T]) -> FibEntry[T]:
+        if entry.in_heap:
+            raise ReproError("entry is already in a heap")
+        entry.parent = entry.child = None
+        entry.left = entry.right = entry
+        entry.degree = 0
+        entry.mark = False
+        entry.in_heap = True
+        self._add_to_roots(entry)
+        if self._min is None or entry.priority < self._min.priority:
+            self._min = entry
+        self._size += 1
+        self.node_visits += 1
+        return entry
+
+    def peek(self) -> FibEntry[T]:
+        if self._min is None:
+            raise ReproError("peek on an empty heap")
+        return self._min
+
+    def peek_second(self) -> Optional[FibEntry[T]]:
+        """Second-smallest entry: best among other roots and min's children."""
+        if self._min is None or self._size < 2:
+            return None
+        best: Optional[FibEntry[T]] = None
+        node = self._min.right
+        while node is not self._min:
+            self.node_visits += 1
+            if best is None or node.priority < best.priority:
+                best = node
+            node = node.right
+        child = self._min.child
+        if child is not None:
+            node = child
+            while True:
+                self.node_visits += 1
+                if best is None or node.priority < best.priority:
+                    best = node
+                node = node.right
+                if node is child:
+                    break
+        return best
+
+    def pop(self) -> FibEntry[T]:
+        if self._min is None:
+            raise ReproError("pop from an empty heap")
+        top = self._min
+        # promote children to roots
+        child = top.child
+        if child is not None:
+            node = child
+            while True:
+                nxt = node.right
+                node.parent = None
+                node.mark = False
+                self._add_to_roots(node)
+                self.node_visits += 1
+                node = nxt
+                if node is child:
+                    break
+            top.child = None
+        self._remove_from_roots(top)
+        if top.right is top:
+            self._min = None
+        else:
+            self._min = top.right
+            self._consolidate()
+        top.left = top.right = top
+        top.in_heap = False
+        top.degree = 0
+        self._size -= 1
+        return top
+
+    def remove(self, entry: FibEntry[T]) -> None:
+        if not entry.in_heap:
+            raise ReproError("entry is not in this heap")
+        saved = entry.priority
+        self._decrease(entry, _NEG_INF)
+        popped = self.pop()
+        assert popped is entry
+        entry.priority = saved
+
+    def update(self, entry: FibEntry[T], priority: Any) -> None:
+        if not entry.in_heap:
+            raise ReproError("entry is not in this heap")
+        old = entry.priority
+        if priority < old:
+            self._decrease(entry, priority)
+        elif old < priority:
+            self.remove(entry)
+            entry.priority = priority
+            self.push(entry)
+        else:
+            entry.priority = priority
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _add_to_roots(self, entry: FibEntry[T]) -> None:
+        if self._min is None:
+            entry.left = entry.right = entry
+        else:
+            entry.right = self._min.right
+            entry.left = self._min
+            self._min.right.left = entry
+            self._min.right = entry
+
+    def _remove_from_roots(self, entry: FibEntry[T]) -> None:
+        entry.left.right = entry.right
+        entry.right.left = entry.left
+
+    def _consolidate(self) -> None:
+        # collect current roots
+        roots: List[FibEntry[T]] = []
+        assert self._min is not None
+        node = self._min
+        while True:
+            roots.append(node)
+            node = node.right
+            if node is self._min:
+                break
+        degree_table: dict[int, FibEntry[T]] = {}
+        for node in roots:
+            self.node_visits += 1
+            x = node
+            d = x.degree
+            while d in degree_table:
+                y = degree_table.pop(d)
+                if y.priority < x.priority:
+                    x, y = y, x
+                self._link(y, x)
+                d = x.degree
+            degree_table[d] = x
+        # rebuild the root list and find the new minimum
+        self._min = None
+        for node in degree_table.values():
+            node.left = node.right = node
+            if self._min is None:
+                self._min = node
+            else:
+                self._add_to_roots(node)
+                if node.priority < self._min.priority:
+                    self._min = node
+
+    def _link(self, child: FibEntry[T], parent: FibEntry[T]) -> None:
+        """Make ``child`` (a root) a child of ``parent`` (a root)."""
+        self._remove_from_roots(child)
+        child.parent = parent
+        child.mark = False
+        if parent.child is None:
+            parent.child = child
+            child.left = child.right = child
+        else:
+            child.right = parent.child.right
+            child.left = parent.child
+            parent.child.right.left = child
+            parent.child.right = child
+        parent.degree += 1
+        self.node_visits += 1
+
+    def _decrease(self, entry: FibEntry[T], priority: Any) -> None:
+        entry.priority = priority
+        parent = entry.parent
+        if parent is not None and entry.priority < parent.priority:
+            self._cut(entry, parent)
+            self._cascading_cut(parent)
+        assert self._min is not None
+        if entry.priority < self._min.priority:
+            self._min = entry
+
+    def _cut(self, entry: FibEntry[T], parent: FibEntry[T]) -> None:
+        # remove entry from parent's child list
+        if entry.right is entry:
+            parent.child = None
+        else:
+            entry.left.right = entry.right
+            entry.right.left = entry.left
+            if parent.child is entry:
+                parent.child = entry.right
+        parent.degree -= 1
+        entry.parent = None
+        entry.mark = False
+        self._add_to_roots(entry)
+        self.node_visits += 1
+
+    def _cascading_cut(self, entry: FibEntry[T]) -> None:
+        parent = entry.parent
+        if parent is None:
+            return
+        if not entry.mark:
+            entry.mark = True
+        else:
+            self._cut(entry, parent)
+            self._cascading_cut(parent)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify heap order, parent pointers and size."""
+        if self._min is None:
+            if self._size != 0:
+                raise ReproError("empty heap with nonzero size")
+            return
+        count = 0
+        node = self._min
+        roots = []
+        while True:
+            if node.parent is not None:
+                raise ReproError("root with a parent pointer")
+            if node.priority < self._min.priority:
+                raise ReproError("min pointer is not minimal")
+            roots.append(node)
+            node = node.right
+            if node is self._min:
+                break
+        stack = roots
+        while stack:
+            node = stack.pop()
+            count += 1
+            child = node.child
+            if child is None:
+                continue
+            c = child
+            degree = 0
+            while True:
+                degree += 1
+                if c.parent is not node:
+                    raise ReproError("child with wrong parent pointer")
+                if c.priority < node.priority:
+                    raise ReproError("fibonacci heap order violated")
+                stack.append(c)
+                c = c.right
+                if c is child:
+                    break
+            if degree != node.degree:
+                raise ReproError("degree field mismatch")
+        if count != self._size:
+            raise ReproError(f"size mismatch: counted {count}, stored {self._size}")

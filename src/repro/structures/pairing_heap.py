@@ -1,0 +1,216 @@
+"""Pairing heap with the same addressable interface as :class:`DaryHeap`.
+
+Provided as an alternative priority queue for the heap-structure ablation
+(the paper cites Larkin/Sen/Tarjan's study when picking the 8-ary implicit
+heap; this lets us reproduce that design decision empirically).
+
+The heap exposes ``push`` / ``pop`` / ``peek`` / ``peek_second`` /
+``update`` / ``remove`` and a ``node_visits`` counter, so GDS and CAMP can
+run unchanged on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Optional, TypeVar
+
+from repro.errors import ReproError
+
+__all__ = ["PairingEntry", "PairingHeap"]
+
+T = TypeVar("T")
+
+
+class PairingEntry(Generic[T]):
+    """Handle to a pairing-heap node (left-child / right-sibling layout)."""
+
+    __slots__ = ("priority", "item", "child", "sibling", "prev", "in_heap")
+
+    def __init__(self, priority: Any, item: T) -> None:
+        self.priority = priority
+        self.item = item
+        self.child: Optional[PairingEntry[T]] = None
+        self.sibling: Optional[PairingEntry[T]] = None
+        # ``prev`` is the left sibling, or the parent when this node is the
+        # leftmost child.  ``None`` for the root / detached nodes.
+        self.prev: Optional[PairingEntry[T]] = None
+        self.in_heap = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PairingEntry(priority={self.priority!r}, item={self.item!r})"
+
+
+class PairingHeap(Generic[T]):
+    """Min pairing heap with O(1) meld/insert and amortized O(log n) pop."""
+
+    __slots__ = ("_root", "_size", "node_visits")
+
+    def __init__(self) -> None:
+        self._root: Optional[PairingEntry[T]] = None
+        self._size = 0
+        self.node_visits = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, entry: PairingEntry[T]) -> bool:
+        return entry.in_heap
+
+    def reset_visits(self) -> None:
+        self.node_visits = 0
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def push(self, entry: PairingEntry[T]) -> PairingEntry[T]:
+        if entry.in_heap:
+            raise ReproError("entry is already in a heap")
+        entry.child = entry.sibling = entry.prev = None
+        entry.in_heap = True
+        self._root = entry if self._root is None else self._meld(self._root, entry)
+        self._size += 1
+        self.node_visits += 1
+        return entry
+
+    def peek(self) -> PairingEntry[T]:
+        if self._root is None:
+            raise ReproError("peek on an empty heap")
+        return self._root
+
+    def peek_second(self) -> Optional[PairingEntry[T]]:
+        """Second-smallest entry: the best among the root's children."""
+        if self._root is None or self._size < 2:
+            return None
+        best: Optional[PairingEntry[T]] = None
+        node = self._root.child
+        while node is not None:
+            self.node_visits += 1
+            if best is None or node.priority < best.priority:
+                best = node
+            node = node.sibling
+        return best
+
+    def pop(self) -> PairingEntry[T]:
+        if self._root is None:
+            raise ReproError("pop from an empty heap")
+        top = self._root
+        self._root = self._merge_pairs(top.child)
+        if self._root is not None:
+            self._root.prev = None
+            self._root.sibling = None
+        top.child = top.sibling = top.prev = None
+        top.in_heap = False
+        self._size -= 1
+        return top
+
+    def remove(self, entry: PairingEntry[T]) -> None:
+        if not entry.in_heap:
+            raise ReproError("entry is not in this heap")
+        if entry is self._root:
+            self.pop()
+            return
+        self._cut(entry)
+        subtree = self._merge_pairs(entry.child)
+        if subtree is not None:
+            subtree.prev = None
+            subtree.sibling = None
+            assert self._root is not None
+            self._root = self._meld(self._root, subtree)
+        entry.child = entry.sibling = entry.prev = None
+        entry.in_heap = False
+        self._size -= 1
+
+    def update(self, entry: PairingEntry[T], priority: Any) -> None:
+        """Change a priority; handles both decrease and increase."""
+        if not entry.in_heap:
+            raise ReproError("entry is not in this heap")
+        old = entry.priority
+        if priority < old:
+            entry.priority = priority
+            if entry is not self._root:
+                self._cut(entry)
+                assert self._root is not None
+                self._root = self._meld(self._root, entry)
+        elif old < priority:
+            # increase-key: detach and reinsert
+            self.remove(entry)
+            entry.priority = priority
+            self.push(entry)
+        else:
+            entry.priority = priority
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _meld(self, a: PairingEntry[T], b: PairingEntry[T]) -> PairingEntry[T]:
+        """Make the larger-priority root a child of the smaller one."""
+        self.node_visits += 2
+        if b.priority < a.priority:
+            a, b = b, a
+        b.prev = a
+        b.sibling = a.child
+        if a.child is not None:
+            a.child.prev = b
+        a.child = b
+        return a
+
+    def _merge_pairs(self, first: Optional[PairingEntry[T]]) -> Optional[PairingEntry[T]]:
+        """Two-pass pairing of a sibling list; returns the merged root."""
+        if first is None:
+            return None
+        # pass 1: meld adjacent pairs left to right
+        pairs = []
+        node: Optional[PairingEntry[T]] = first
+        while node is not None:
+            a = node
+            b = node.sibling
+            node = b.sibling if b is not None else None
+            a.sibling = None
+            a.prev = None
+            if b is not None:
+                b.sibling = None
+                b.prev = None
+                pairs.append(self._meld(a, b))
+            else:
+                pairs.append(a)
+        # pass 2: meld right to left
+        result = pairs[-1]
+        for tree in reversed(pairs[:-1]):
+            result = self._meld(tree, result)
+        return result
+
+    def _cut(self, entry: PairingEntry[T]) -> None:
+        """Detach ``entry`` (a non-root node) from its parent's child list."""
+        prev = entry.prev
+        assert prev is not None
+        if prev.child is entry:  # leftmost child: prev is the parent
+            prev.child = entry.sibling
+        else:  # prev is the left sibling
+            prev.sibling = entry.sibling
+        if entry.sibling is not None:
+            entry.sibling.prev = prev
+        entry.sibling = None
+        entry.prev = None
+        self.node_visits += 1
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify heap order and size; raises on corruption."""
+        count = 0
+        if self._root is not None:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                count += 1
+                child = node.child
+                while child is not None:
+                    if child.priority < node.priority:
+                        raise ReproError("pairing heap order violated")
+                    stack.append(child)
+                    child = child.sibling
+        if count != self._size:
+            raise ReproError(f"size mismatch: counted {count}, stored {self._size}")

@@ -1,0 +1,136 @@
+"""Binary buddy allocator — the paper's section 5 alternative to slabs.
+
+"One may address the calcification limitation by separating how memory
+should be allocated ... for example, with a memcached implementation, one
+may use a buddy algorithm [8] to manage space in combination with CAMP (or
+LRU)."
+
+Classic power-of-two buddy system over a fixed arena: requests round up to
+the nearest power of two (≥ ``min_block``); larger free blocks split
+recursively; on free, buddies coalesce.  Returned handles are byte offsets.
+The allocator-ablation benchmark compares its external behaviour against
+the slab system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import AllocationError, ConfigurationError
+
+__all__ = ["BuddyAllocator"]
+
+
+def _ceil_pow2(value: int) -> int:
+    return 1 << (value - 1).bit_length()
+
+
+class BuddyAllocator:
+    """Power-of-two buddy allocation over ``arena_bytes`` of memory."""
+
+    def __init__(self, arena_bytes: int, min_block: int = 64) -> None:
+        if min_block < 1 or (min_block & (min_block - 1)):
+            raise ConfigurationError(
+                f"min_block must be a positive power of two, got {min_block}")
+        if arena_bytes < min_block:
+            raise ConfigurationError("arena must hold at least one block")
+        arena = 1 << (arena_bytes.bit_length() - 1)  # floor to power of two
+        self._arena = arena
+        self._min_block = min_block
+        # free lists: block size -> set of offsets
+        self._free: Dict[int, Set[int]] = {arena: {0}}
+        # live allocations: offset -> (block size, requested payload bytes)
+        self._allocated: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def arena_bytes(self) -> int:
+        return self._arena
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes reserved including rounding waste (internal fragmentation)."""
+        return sum(block for block, _ in self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self._arena - self.allocated_bytes
+
+    def block_size_for(self, size: int) -> int:
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        return max(self._min_block, _ceil_pow2(size))
+
+    # ------------------------------------------------------------------
+    def allocate(self, size: int) -> int:
+        """Reserve a block that fits ``size``; returns its offset.
+
+        Raises :class:`~repro.errors.AllocationError` when no block of the
+        required size can be carved out (the caller should evict and retry).
+        """
+        block = self.block_size_for(size)
+        if block > self._arena:
+            raise AllocationError(f"request {size} exceeds arena {self._arena}")
+        # find the smallest free block >= block
+        candidate = block
+        while candidate <= self._arena and not self._free.get(candidate):
+            candidate <<= 1
+        if candidate > self._arena or not self._free.get(candidate):
+            raise AllocationError(f"no free block for {size} bytes")
+        offset = self._free[candidate].pop()
+        # split down to the target size
+        while candidate > block:
+            candidate >>= 1
+            buddy = offset + candidate
+            self._free.setdefault(candidate, set()).add(buddy)
+        self._allocated[offset] = (block, size)
+        return offset
+
+    def free(self, offset: int) -> None:
+        """Release a block and coalesce with free buddies."""
+        entry = self._allocated.pop(offset, None)
+        if entry is None:
+            raise AllocationError(f"free of unallocated offset {offset}")
+        block, _ = entry
+        while block < self._arena:
+            buddy = offset ^ block
+            peers = self._free.get(block)
+            if peers is None or buddy not in peers:
+                break
+            peers.discard(buddy)
+            offset = min(offset, buddy)
+            block <<= 1
+        self._free.setdefault(block, set()).add(offset)
+
+    # ------------------------------------------------------------------
+    def fragmentation(self) -> float:
+        """Internal fragmentation: wasted / reserved bytes (0 when idle)."""
+        reserved = self.allocated_bytes
+        if not reserved:
+            return 0.0
+        useful = sum(requested for _, requested in self._allocated.values())
+        return 1.0 - useful / reserved
+
+    def allocations(self) -> Dict[int, tuple]:
+        """offset -> (block size, requested bytes) for live allocations."""
+        return dict(self._allocated)
+
+    def check_invariants(self) -> None:
+        """Free and allocated regions tile the arena without overlap."""
+        regions: List[tuple] = []
+        for size, offsets in self._free.items():
+            for offset in offsets:
+                regions.append((offset, size))
+        for offset, (size, _) in self._allocated.items():
+            regions.append((offset, size))
+        regions.sort()
+        position = 0
+        for offset, size in regions:
+            if offset != position:
+                raise AllocationError(
+                    f"gap or overlap at offset {offset} (expected {position})")
+            if offset % size != 0:
+                raise AllocationError(f"misaligned block at {offset}")
+            position = offset + size
+        if position != self._arena:
+            raise AllocationError("regions do not cover the arena")

@@ -1,0 +1,164 @@
+"""Clients for the Twemcache server: socket-based and in-process.
+
+:class:`SocketClient` plays the role of the Whalin memcached client from
+the paper's section 4 (real TCP, real serialization).
+:class:`InProcessClient` bypasses the network for micro-benchmarks that
+isolate the engine's replacement-decision overhead.
+Both expose the same ``get``/``set``/``delete`` surface so
+:class:`~repro.twemcache.iq.IqSession` and the trace replayer work over
+either transport.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import ProtocolError
+from repro.twemcache.engine import TwemcacheEngine
+from repro.twemcache.protocol import CRLF, parse_number
+
+__all__ = ["SocketClient", "InProcessClient"]
+
+Number = Union[int, float]
+
+
+class _Value:
+    """Minimal item facade so clients and the engine share a .value shape."""
+
+    __slots__ = ("value", "flags")
+
+    def __init__(self, value: bytes, flags: int) -> None:
+        self.value = value
+        self.flags = flags
+
+
+class SocketClient:
+    """A blocking text-protocol client for :class:`TwemcacheServer`."""
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._buffer = b""
+
+    # ------------------------------------------------------------------
+    # line/byte plumbing
+    # ------------------------------------------------------------------
+    def _read_line(self) -> bytes:
+        while CRLF not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("server closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(CRLF, 1)
+        return line
+
+    def _read_exact(self, n: int) -> bytes:
+        while len(self._buffer) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("server closed the connection")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+    def _send(self, payload: bytes) -> None:
+        self._sock.sendall(payload)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[_Value]:
+        self._send(f"get {key}".encode() + CRLF)
+        value: Optional[_Value] = None
+        while True:
+            line = self._read_line()
+            if line == b"END":
+                return value
+            if line.startswith(b"VALUE "):
+                parts = line.decode().split()
+                if len(parts) != 4:
+                    raise ProtocolError(f"malformed VALUE line: {line!r}")
+                _, got_key, flags_text, nbytes_text = parts
+                nbytes = int(nbytes_text)
+                data = self._read_exact(nbytes)
+                trailer = self._read_exact(2)
+                if trailer != CRLF:
+                    raise ProtocolError("missing CRLF after data block")
+                value = _Value(data, int(flags_text))
+            elif line.startswith(b"CLIENT_ERROR"):
+                raise ProtocolError(line.decode())
+            else:
+                raise ProtocolError(f"unexpected reply {line!r}")
+
+    def set(self, key: str, value: bytes, flags: int = 0,
+            expire_after: float = 0, cost: Number = 0) -> bool:
+        header = f"set {key} {flags} {expire_after} {len(value)} {cost}"
+        self._send(header.encode() + CRLF + value + CRLF)
+        reply = self._read_line()
+        if reply == b"STORED":
+            return True
+        if reply == b"NOT_STORED":
+            return False
+        raise ProtocolError(f"unexpected reply {reply!r}")
+
+    def delete(self, key: str) -> bool:
+        self._send(f"delete {key}".encode() + CRLF)
+        reply = self._read_line()
+        if reply == b"DELETED":
+            return True
+        if reply == b"NOT_FOUND":
+            return False
+        raise ProtocolError(f"unexpected reply {reply!r}")
+
+    def stats(self) -> Dict[str, Number]:
+        self._send(b"stats" + CRLF)
+        out: Dict[str, Number] = {}
+        while True:
+            line = self._read_line()
+            if line == b"END":
+                return out
+            if not line.startswith(b"STAT "):
+                raise ProtocolError(f"unexpected reply {line!r}")
+            _, name, value_text = line.decode().split(" ", 2)
+            out[name] = parse_number(value_text, "stat")
+
+    def version(self) -> str:
+        self._send(b"version" + CRLF)
+        return self._read_line().decode()
+
+    def close(self) -> None:
+        try:
+            self._send(b"quit" + CRLF)
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InProcessClient:
+    """Direct engine access with the client interface (no network)."""
+
+    def __init__(self, engine: TwemcacheEngine) -> None:
+        self._engine = engine
+
+    def get(self, key: str) -> Optional[_Value]:
+        item = self._engine.get(key)
+        if item is None:
+            return None
+        return _Value(item.value, item.flags)
+
+    def set(self, key: str, value: bytes, flags: int = 0,
+            expire_after: float = 0, cost: Number = 0) -> bool:
+        return self._engine.set(key, value, flags=flags,
+                                expire_after=expire_after, cost=cost)
+
+    def delete(self, key: str) -> bool:
+        return self._engine.delete(key)
+
+    def stats(self) -> Dict[str, Number]:
+        return dict(self._engine.stats())

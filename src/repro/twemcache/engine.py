@@ -1,0 +1,357 @@
+"""A Twemcache-like storage engine: slab allocation + LRU or CAMP eviction.
+
+The allocation path follows the paper's four steps verbatim:
+
+1. replace an **expired** key-value of the smallest fitting slab class,
+2. else take a free chunk within that class's allocated slabs,
+3. else allocate a **new slab** to the class,
+4. else **evict** an existing pair of the class (LRU in stock Twemcache;
+   CAMP in the paper's section 4 implementation) and replace its contents.
+
+When even step 4 cannot help — the class owns *no* slabs at all (slab
+calcification) — the engine optionally performs Twemcache's *random slab
+eviction*: grab a random slab from another class, evict every occupant and
+re-class it.
+
+Eviction policies are instantiated **per slab class**, matching
+Twemcache's per-class LRU queues; within a class all chunks are the same
+size, so CAMP's cost-to-size ratios degenerate gracefully to cost ratios.
+Values are real ``bytes`` (the server stores and serves them), and every
+item is charged ``ITEM_HEADER_SIZE`` metadata like the C implementation.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.camp import CampPolicy
+from repro.core.lru import LruPolicy
+from repro.core.policy import EvictionPolicy
+from repro.core.rounding import RatioConverter
+from repro.errors import ConfigurationError
+from repro.twemcache.slab import ChunkRef, SlabAllocator
+
+__all__ = ["StoredItem", "TwemcacheEngine", "ITEM_HEADER_SIZE"]
+
+Number = Union[int, float]
+
+#: bytes charged per item for metadata (key pointer, CAS, flags, links)
+ITEM_HEADER_SIZE = 48
+
+
+@dataclass(slots=True)
+class StoredItem:
+    """One resident key-value pair and its metadata."""
+
+    key: str
+    value: bytes
+    flags: int
+    expire_at: float          # absolute time, 0 = never
+    cost: Number
+    chunk: ChunkRef
+    class_id: int
+
+    def expired(self, now: float) -> bool:
+        return self.expire_at != 0 and now >= self.expire_at
+
+
+class TwemcacheEngine:
+    """Slab-allocated KVS with pluggable per-class eviction."""
+
+    def __init__(self,
+                 memory_bytes: int,
+                 eviction: str = "lru",
+                 camp_precision: Optional[int] = 5,
+                 slab_size: int = 1 << 20,
+                 random_slab_eviction: bool = True,
+                 clock: Optional[Callable[[], float]] = None,
+                 seed: int = 0) -> None:
+        """``eviction`` is ``"lru"`` (stock Twemcache) or ``"camp"`` (the
+        paper's IQ-Twemcache variant).  ``clock`` is injectable for
+        deterministic expiry tests (defaults to ``time.monotonic``)."""
+        if eviction not in ("lru", "camp"):
+            raise ConfigurationError(
+                f"eviction must be 'lru' or 'camp', got {eviction!r}")
+        self._eviction_kind = eviction
+        self._camp_precision = camp_precision
+        self._allocator = SlabAllocator(memory_bytes, slab_size=slab_size)
+        self._random_slab_eviction = random_slab_eviction
+        self._clock = clock if clock is not None else time.monotonic
+        self._rng = random.Random(seed)
+        self._items: Dict[str, StoredItem] = {}
+        self._policies: Dict[int, EvictionPolicy] = {}
+        # CAMP instances share one converter so ratios stay comparable
+        self._converter = RatioConverter()
+        self._lock = threading.RLock()
+        # counters
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expired_reclaims = 0
+        self.slab_reassignments = 0
+
+    # ------------------------------------------------------------------
+    # policy plumbing
+    # ------------------------------------------------------------------
+    def _policy_for_class(self, class_id: int) -> EvictionPolicy:
+        policy = self._policies.get(class_id)
+        if policy is None:
+            if self._eviction_kind == "camp":
+                policy = CampPolicy(precision=self._camp_precision,
+                                    converter=self._converter)
+            else:
+                policy = LruPolicy()
+            self._policies[class_id] = policy
+        return policy
+
+    def _item_size(self, key: str, value: bytes) -> int:
+        return len(key) + len(value) + ITEM_HEADER_SIZE
+
+    # ------------------------------------------------------------------
+    # public API (get / set / delete)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[StoredItem]:
+        """Fetch a live item (expired items are lazily reclaimed)."""
+        with self._lock:
+            item = self._items.get(key)
+            if item is None:
+                self.misses += 1
+                return None
+            if item.expired(self._clock()):
+                self._forget(item)
+                self.misses += 1
+                return None
+            self._policy_for_class(item.class_id).on_hit(key)
+            self.hits += 1
+            return item
+
+    def set(self,
+            key: str,
+            value: bytes,
+            flags: int = 0,
+            expire_after: float = 0,
+            cost: Number = 0) -> bool:
+        """Store a value; returns False only if it cannot fit any class."""
+        with self._lock:
+            size = self._item_size(key, value)
+            class_id = self._allocator.class_for(size)
+            if class_id is None:
+                return False
+            existing = self._items.get(key)
+            if existing is not None:
+                self._forget(existing)
+            chunk = self._acquire_chunk(class_id, key)
+            if chunk is None:
+                return False
+            expire_at = self._clock() + expire_after if expire_after else 0
+            item = StoredItem(key=key, value=value, flags=flags,
+                              expire_at=expire_at, cost=cost,
+                              chunk=chunk, class_id=class_id)
+            self._items[key] = item
+            self._policy_for_class(class_id).on_insert(key, size, cost)
+            return True
+
+    def add(self, key: str, value: bytes, **kwargs) -> bool:
+        """Store only if the key is absent (memcached ``add``)."""
+        with self._lock:
+            existing = self._items.get(key)
+            if existing is not None and not existing.expired(self._clock()):
+                return False
+            return self.set(key, value, **kwargs)
+
+    def replace(self, key: str, value: bytes, **kwargs) -> bool:
+        """Store only if the key is present (memcached ``replace``)."""
+        with self._lock:
+            existing = self._items.get(key)
+            if existing is None or existing.expired(self._clock()):
+                return False
+            return self.set(key, value, **kwargs)
+
+    def incr(self, key: str, delta: int) -> Optional[int]:
+        """Increment an ASCII-decimal value; None when the key is absent.
+
+        Raises :class:`~repro.errors.ProtocolError` for non-numeric values,
+        mirroring memcached's CLIENT_ERROR.
+        """
+        return self._arith(key, delta)
+
+    def decr(self, key: str, delta: int) -> Optional[int]:
+        """Decrement, clamped at zero like memcached."""
+        return self._arith(key, -delta)
+
+    def _arith(self, key: str, delta: int) -> Optional[int]:
+        from repro.errors import ProtocolError
+        with self._lock:
+            item = self._items.get(key)
+            if item is None or item.expired(self._clock()):
+                return None
+            try:
+                current = int(item.value.decode("ascii"))
+            except (UnicodeDecodeError, ValueError):
+                raise ProtocolError(
+                    "cannot increment or decrement non-numeric value"
+                ) from None
+            updated = max(0, current + delta)
+            payload = str(updated).encode("ascii")
+            expire_after = 0.0
+            if item.expire_at:
+                expire_after = max(0.0, item.expire_at - self._clock())
+            self.set(key, payload, flags=item.flags,
+                     expire_after=expire_after, cost=item.cost)
+            return updated
+
+    def touch(self, key: str, expire_after: float) -> bool:
+        """Reset a live item's expiry without transferring its value."""
+        with self._lock:
+            item = self._items.get(key)
+            if item is None or item.expired(self._clock()):
+                return False
+            item.expire_at = self._clock() + expire_after if expire_after \
+                else 0
+            return True
+
+    def flush_all(self) -> None:
+        """Drop every item (memcached ``flush_all``)."""
+        with self._lock:
+            for item in list(self._items.values()):
+                self._forget(item)
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            item = self._items.get(key)
+            if item is None:
+                return False
+            self._forget(item)
+            return True
+
+    def touch_cost(self, key: str, cost: Number) -> bool:
+        """Update the recorded cost of a live item (IQ refresh)."""
+        with self._lock:
+            item = self._items.get(key)
+            if item is None:
+                return False
+            item.cost = cost
+            return True
+
+    # ------------------------------------------------------------------
+    # allocation path (the paper's four steps)
+    # ------------------------------------------------------------------
+    def _acquire_chunk(self, class_id: int, key: str) -> Optional[ChunkRef]:
+        # step 1: replace an expired pair of this class
+        reclaimed = self._reclaim_expired(class_id)
+        if reclaimed:
+            self.expired_reclaims += 1
+        # steps 2-3: free chunk or fresh slab
+        chunk = self._allocator.try_allocate(class_id, key)
+        if chunk is not None:
+            return chunk
+        # step 4: evict within the class
+        policy = self._policy_for_class(class_id)
+        if len(policy):
+            victim_key = policy.pop_victim()
+            victim = self._items.pop(victim_key)
+            self._allocator.free(victim.chunk)
+            self.evictions += 1
+            return self._allocator.try_allocate(class_id, key)
+        # calcified: no slabs and nothing to evict in this class
+        if self._random_slab_eviction:
+            return self._steal_random_slab(class_id, key)
+        return None
+
+    def _reclaim_expired(self, class_id: int, probe_depth: int = 5) -> bool:
+        """Check a few eviction candidates of the class for expiry."""
+        policy = self._policies.get(class_id)
+        if policy is None or not isinstance(policy, LruPolicy):
+            return self._reclaim_expired_scan(class_id, probe_depth)
+        now = self._clock()
+        for key in list(policy.keys_lru_to_mru())[:probe_depth]:
+            item = self._items[key]
+            if item.expired(now):
+                self._forget(item)
+                return True
+        return False
+
+    def _reclaim_expired_scan(self, class_id: int, probe_depth: int) -> bool:
+        # bounded probe over the oldest insertions (dict preserves order);
+        # expiry is best-effort here, exactly like memcached's lazy reclaim
+        now = self._clock()
+        for probed, item in enumerate(self._items.values()):
+            if probed >= probe_depth:
+                break
+            if item.class_id == class_id and item.expired(now):
+                self._forget(item)
+                return True
+        return False
+
+    def _steal_random_slab(self, class_id: int, key: str
+                           ) -> Optional[ChunkRef]:
+        donors = self._allocator.donor_slabs(excluding_class=class_id)
+        if not donors:
+            return None
+        slab = self._rng.choice(donors)
+        donor_class = slab.class_id
+        evicted = self._allocator.reassign_slab(slab, class_id)
+        donor_policy = self._policies.get(donor_class)
+        for victim_key in evicted:
+            self._items.pop(victim_key, None)
+            if donor_policy is not None and victim_key in donor_policy:
+                donor_policy.on_remove(victim_key)
+            self.evictions += 1
+        self.slab_reassignments += 1
+        return self._allocator.try_allocate(class_id, key)
+
+    def _forget(self, item: StoredItem) -> None:
+        self._items.pop(item.key, None)
+        policy = self._policies.get(item.class_id)
+        if policy is not None and item.key in policy:
+            policy.on_remove(item.key)
+        self._allocator.free(item.chunk)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def allocator(self) -> SlabAllocator:
+        return self._allocator
+
+    @property
+    def eviction_kind(self) -> str:
+        return self._eviction_kind
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        with self._lock:
+            stats: Dict[str, Union[int, float]] = {
+                "items": len(self._items),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expired_reclaims": self.expired_reclaims,
+                "slab_reassignments": self.slab_reassignments,
+            }
+            stats.update(self._allocator.stats())
+            return stats
+
+    def check_consistency(self) -> None:
+        """Items, policies and allocator agree (test hook)."""
+        with self._lock:
+            self._allocator.check_invariants()
+            policy_total = sum(len(p) for p in self._policies.values())
+            if policy_total != len(self._items):
+                raise ConfigurationError(
+                    "policy residency disagrees with item table")
+            for key, item in self._items.items():
+                if item.chunk.slab.chunks[item.chunk.index] != key:
+                    raise ConfigurationError(
+                        f"chunk for {key!r} does not reference it")

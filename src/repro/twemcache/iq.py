@@ -1,0 +1,83 @@
+"""The IQ framework's cost measurement (paper section 4, ref [10]).
+
+"This implementation computes the cost of a key-value pair by noting the
+timestamp of a miss observed by a get (iqget) and the subsequent insertion
+of the computed value using a set (iqset).  The difference between these
+two timestamps is used as the cost of the key-value pair."
+
+:class:`IqSession` wraps any object with ``get``/``set`` (the engine or a
+network client): ``iqget`` records miss timestamps, ``iqset`` turns the
+elapsed time into the stored cost.  The clock is injectable —
+:class:`VirtualClock` makes the measurement deterministic in tests and
+lets the trace replayer model computation time without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VirtualClock", "IqSession"]
+
+Number = Union[int, float]
+
+
+class VirtualClock:
+    """A manually advanced clock: ``advance(dt)`` models computation time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ConfigurationError(f"cannot advance clock by {dt}")
+        self._now += dt
+        return self._now
+
+
+class IqSession:
+    """iqget/iqset over a get/set backend, measuring per-key compute cost."""
+
+    def __init__(self,
+                 backend,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        """``backend`` needs ``get(key) -> item-with-.value | bytes | None``
+        and ``set(key, value, cost=...) -> bool``."""
+        self._backend = backend
+        self._clock = clock if clock is not None else time.monotonic
+        self._pending: Dict[str, float] = {}
+
+    @property
+    def pending_misses(self) -> int:
+        return len(self._pending)
+
+    def iqget(self, key: str) -> Optional[bytes]:
+        """Get; on miss, stamp the miss time for the upcoming iqset."""
+        found = self._backend.get(key)
+        if found is None:
+            self._pending[key] = self._clock()
+            return None
+        self._pending.pop(key, None)
+        value = getattr(found, "value", found)
+        return value
+
+    def iqset(self, key: str, value: bytes,
+              cost_override: Optional[Number] = None, **kwargs) -> bool:
+        """Set with cost = now − miss timestamp (or an explicit override).
+
+        The override is how the trace replayer injects the paper's
+        synthetic {1, 100, 10K} costs while exercising the same code path.
+        """
+        if cost_override is not None:
+            cost: Number = cost_override
+        else:
+            stamped = self._pending.get(key)
+            cost = max(0.0, self._clock() - stamped) if stamped is not None \
+                else 0.0
+        self._pending.pop(key, None)
+        return self._backend.set(key, value, cost=cost, **kwargs)

@@ -1,0 +1,137 @@
+"""A memcached-style text protocol (the wire format of section 4's study).
+
+Implemented subset (requests end with CRLF; values are raw bytes):
+
+* ``get <key> [<key>...]``  → ``VALUE <key> <flags> <bytes>\\r\\n<data>\\r\\n``
+  per hit, then ``END``
+* ``set|add|replace <key> <flags> <exptime> <bytes> [<cost>]`` + data
+  block → ``STORED`` | ``NOT_STORED``.  ``add`` stores only when absent,
+  ``replace`` only when present.  The trailing *cost* token is this
+  reproduction's IQ extension: the measured (or synthetic) recomputation
+  cost piggybacked on the put, exactly as the paper describes ("the
+  approach taken to provide recomputation time is ... piggybacked as a
+  part of the KVS put").
+* ``delete <key>`` → ``DELETED`` | ``NOT_FOUND``
+* ``incr|decr <key> <delta>`` → new value | ``NOT_FOUND`` |
+  ``CLIENT_ERROR`` for non-numeric values (decr clamps at 0, like
+  memcached)
+* ``touch <key> <exptime>`` → ``TOUCHED`` | ``NOT_FOUND``
+* ``flush_all`` → ``OK``
+* ``stats`` → ``STAT <name> <value>`` lines then ``END``
+* ``version``, ``quit``
+
+Parsing is shared by the threaded server and the socket client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ProtocolError
+
+__all__ = ["Request", "CRLF", "parse_command_line", "render_value",
+           "render_stats", "parse_number"]
+
+CRLF = b"\r\n"
+
+Number = Union[int, float]
+
+
+@dataclass(slots=True)
+class Request:
+    """A parsed command line (the data block, if any, arrives separately)."""
+
+    command: str
+    keys: List[str] = field(default_factory=list)
+    flags: int = 0
+    exptime: float = 0.0
+    nbytes: int = 0
+    cost: Number = 0
+    delta: int = 0
+
+    @property
+    def key(self) -> str:
+        return self.keys[0]
+
+
+#: commands that carry a data block and share set's argument layout
+STORAGE_COMMANDS = ("set", "add", "replace")
+
+
+def parse_number(token: str, what: str) -> Number:
+    """Int if possible, else float; raises ProtocolError otherwise."""
+    try:
+        return int(token)
+    except ValueError:
+        try:
+            return float(token)
+        except ValueError:
+            raise ProtocolError(f"bad {what}: {token!r}") from None
+
+
+def parse_command_line(line: bytes) -> Request:
+    """Parse one CRLF-stripped command line into a :class:`Request`."""
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError:
+        raise ProtocolError("command line is not valid UTF-8") from None
+    parts = text.split()
+    if not parts:
+        raise ProtocolError("empty command")
+    command = parts[0].lower()
+    if command in ("get", "gets"):
+        if len(parts) < 2:
+            raise ProtocolError("get requires at least one key")
+        return Request(command="get", keys=parts[1:])
+    if command in STORAGE_COMMANDS:
+        if len(parts) not in (5, 6):
+            raise ProtocolError(
+                f"{command} requires: key flags exptime bytes [cost]")
+        key = parts[1]
+        flags = int(parse_number(parts[2], "flags"))
+        exptime = float(parse_number(parts[3], "exptime"))
+        nbytes = int(parse_number(parts[4], "bytes"))
+        if nbytes < 0:
+            raise ProtocolError("negative byte count")
+        cost: Number = 0
+        if len(parts) == 6:
+            cost = parse_number(parts[5], "cost")
+            if cost < 0:
+                raise ProtocolError("negative cost")
+        return Request(command=command, keys=[key], flags=flags,
+                       exptime=exptime, nbytes=nbytes, cost=cost)
+    if command == "delete":
+        if len(parts) != 2:
+            raise ProtocolError("delete requires exactly one key")
+        return Request(command="delete", keys=[parts[1]])
+    if command in ("incr", "decr"):
+        if len(parts) != 3:
+            raise ProtocolError(f"{command} requires: key delta")
+        delta = parse_number(parts[2], "delta")
+        if not isinstance(delta, int) or delta < 0:
+            raise ProtocolError("delta must be a non-negative integer")
+        return Request(command=command, keys=[parts[1]], delta=delta)
+    if command == "touch":
+        if len(parts) != 3:
+            raise ProtocolError("touch requires: key exptime")
+        exptime = float(parse_number(parts[2], "exptime"))
+        return Request(command="touch", keys=[parts[1]], exptime=exptime)
+    if command in ("stats", "version", "quit", "flush_all"):
+        if len(parts) != 1:
+            raise ProtocolError(f"{command} takes no arguments")
+        return Request(command=command)
+    raise ProtocolError(f"unknown command {parts[0]!r}")
+
+
+def render_value(key: str, flags: int, value: bytes) -> bytes:
+    """One VALUE block of a get response."""
+    header = f"VALUE {key} {flags} {len(value)}".encode("utf-8")
+    return header + CRLF + value + CRLF
+
+
+def render_stats(stats: dict) -> bytes:
+    lines = b""
+    for name in sorted(stats):
+        lines += f"STAT {name} {stats[name]}".encode("utf-8") + CRLF
+    return lines + b"END" + CRLF

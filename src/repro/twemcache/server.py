@@ -1,0 +1,135 @@
+"""A threaded TCP server speaking the memcached-style protocol.
+
+Stands in for Twemcache v2.5.3 in the section 4 implementation study: the
+engine (slab allocator + LRU or CAMP) sits behind real sockets, multiple
+client threads race through the engine's lock, and the trace replayer's
+measured run time includes network transmission and value copying — the
+three components the paper's Figure 9b breaks out.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.twemcache.engine import TwemcacheEngine
+from repro.twemcache.protocol import (
+    CRLF,
+    parse_command_line,
+    render_stats,
+    render_value,
+)
+
+__all__ = ["TwemcacheServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read command lines, execute, write responses."""
+
+    def handle(self) -> None:
+        engine: TwemcacheEngine = self.server.engine  # type: ignore[attr-defined]
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            line = line.rstrip(b"\r\n")
+            if not line:
+                continue
+            try:
+                request = parse_command_line(line)
+            except ProtocolError as exc:
+                self.wfile.write(f"CLIENT_ERROR {exc}".encode() + CRLF)
+                continue
+            if request.command == "quit":
+                return
+            if request.command == "version":
+                self.wfile.write(b"VERSION repro-camp/1.0" + CRLF)
+            elif request.command == "stats":
+                self.wfile.write(render_stats(engine.stats()))
+            elif request.command == "get":
+                out = b""
+                for key in request.keys:
+                    item = engine.get(key)
+                    if item is not None:
+                        out += render_value(key, item.flags, item.value)
+                self.wfile.write(out + b"END" + CRLF)
+            elif request.command in ("set", "add", "replace"):
+                data = self.rfile.read(request.nbytes)
+                trailer = self.rfile.read(2)
+                if trailer != CRLF:
+                    self.wfile.write(b"CLIENT_ERROR bad data chunk" + CRLF)
+                    continue
+                operation = getattr(engine, request.command)
+                stored = operation(request.key, data, flags=request.flags,
+                                   expire_after=request.exptime,
+                                   cost=request.cost)
+                self.wfile.write(b"STORED" + CRLF if stored
+                                 else b"NOT_STORED" + CRLF)
+            elif request.command == "delete":
+                removed = engine.delete(request.key)
+                self.wfile.write(b"DELETED" + CRLF if removed
+                                 else b"NOT_FOUND" + CRLF)
+            elif request.command in ("incr", "decr"):
+                try:
+                    operation = getattr(engine, request.command)
+                    updated = operation(request.key, request.delta)
+                except ProtocolError as exc:
+                    self.wfile.write(f"CLIENT_ERROR {exc}".encode() + CRLF)
+                    continue
+                if updated is None:
+                    self.wfile.write(b"NOT_FOUND" + CRLF)
+                else:
+                    self.wfile.write(str(updated).encode("ascii") + CRLF)
+            elif request.command == "touch":
+                touched = engine.touch(request.key, request.exptime)
+                self.wfile.write(b"TOUCHED" + CRLF if touched
+                                 else b"NOT_FOUND" + CRLF)
+            elif request.command == "flush_all":
+                engine.flush_all()
+                self.wfile.write(b"OK" + CRLF)
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TwemcacheServer:
+    """Lifecycle wrapper: serve an engine on 127.0.0.1 in the background."""
+
+    def __init__(self, engine: TwemcacheEngine,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._engine = engine
+        self._server = _ThreadedTCPServer((host, port), _Handler)
+        self._server.engine = engine  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def engine(self) -> TwemcacheEngine:
+        return self._engine
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "TwemcacheServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="twemcache-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "TwemcacheServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,262 @@
+"""Twemcache's slab allocation system (paper section 5).
+
+Memory is divided into fixed-size **slabs** (default 1 MiB).  Each slab is
+assigned a **slab class** and subdivided into equal chunks; class 1 chunks
+are 120 bytes and every subsequent class grows by a factor of ~1.25 (so a
+1 MiB class-1 slab holds 8737 chunks, class 2 holds 6898 × 152 B — the
+paper's worked numbers).  The largest class is a whole slab.
+
+Once a slab is assigned to a class it keeps that class — the *slab
+calcification* pathology the paper describes.  :meth:`SlabAllocator.reassign_slab`
+implements Twemcache's mitigation: forcibly take a (caller-chosen, typically
+random) slab from another class, evict its occupants and re-class it.
+
+The allocator is pure bookkeeping: chunks are (slab, index) references and
+the caller (the engine) maps them to stored items.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AllocationError, ConfigurationError
+
+__all__ = ["ChunkRef", "Slab", "SlabClassInfo", "SlabAllocator",
+           "DEFAULT_SLAB_SIZE", "DEFAULT_MIN_CHUNK", "DEFAULT_GROWTH_FACTOR"]
+
+DEFAULT_SLAB_SIZE = 1 << 20        # 1 MiB, the Twemcache default
+DEFAULT_MIN_CHUNK = 120            # class-1 chunk size from the paper
+DEFAULT_GROWTH_FACTOR = 1.25
+SLAB_HEADER_SIZE = 32              # per-slab metadata, like Twemcache's
+#                                    slab_hdr: (1 MiB - 32) / 120 = 8737
+#                                    chunks, the paper's worked number
+
+
+@dataclass(frozen=True, slots=True)
+class SlabClassInfo:
+    """Geometry of one slab class."""
+
+    class_id: int
+    chunk_size: int
+    chunks_per_slab: int
+
+
+class Slab:
+    """One slab: a class assignment plus per-chunk occupancy."""
+
+    __slots__ = ("slab_id", "class_id", "chunks", "free_indices")
+
+    def __init__(self, slab_id: int, class_id: int, num_chunks: int) -> None:
+        self.slab_id = slab_id
+        self.class_id = class_id
+        # chunk index -> occupant key (None = free)
+        self.chunks: List[Optional[str]] = [None] * num_chunks
+        self.free_indices: List[int] = list(range(num_chunks))
+
+    @property
+    def used_chunks(self) -> int:
+        return len(self.chunks) - len(self.free_indices)
+
+    def occupants(self) -> List[str]:
+        return [key for key in self.chunks if key is not None]
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRef:
+    """A handle to one allocated chunk."""
+
+    slab: Slab
+    index: int
+
+    @property
+    def class_id(self) -> int:
+        return self.slab.class_id
+
+
+class SlabAllocator:
+    """Slab-class bookkeeping over a fixed memory budget."""
+
+    def __init__(self,
+                 memory_bytes: int,
+                 slab_size: int = DEFAULT_SLAB_SIZE,
+                 min_chunk: int = DEFAULT_MIN_CHUNK,
+                 growth_factor: float = DEFAULT_GROWTH_FACTOR) -> None:
+        if slab_size < min_chunk:
+            raise ConfigurationError("slab_size must be >= min_chunk")
+        if memory_bytes < slab_size:
+            raise ConfigurationError(
+                f"memory ({memory_bytes}) smaller than one slab ({slab_size})")
+        if growth_factor <= 1.0:
+            raise ConfigurationError("growth_factor must be > 1")
+        if min_chunk < 1:
+            raise ConfigurationError("min_chunk must be >= 1")
+        self._slab_size = slab_size
+        self._max_slabs = memory_bytes // slab_size
+        self._classes = self._build_classes(slab_size, min_chunk,
+                                            growth_factor)
+        self._slabs_by_class: Dict[int, List[Slab]] = {
+            info.class_id: [] for info in self._classes}
+        self._free_chunks: Dict[int, List[ChunkRef]] = {
+            info.class_id: [] for info in self._classes}
+        self._next_slab_id = 0
+
+    @staticmethod
+    def _build_classes(slab_size: int, min_chunk: int,
+                       factor: float) -> List[SlabClassInfo]:
+        classes: List[SlabClassInfo] = []
+        usable = slab_size - SLAB_HEADER_SIZE
+        if usable < min_chunk:
+            usable = slab_size  # degenerate tiny-slab configs skip the header
+        size = min_chunk
+        class_id = 1
+        while size < usable:
+            aligned = (size + 7) & ~7  # 8-byte alignment like memcached
+            classes.append(SlabClassInfo(class_id, aligned,
+                                         usable // aligned))
+            class_id += 1
+            next_size = int(math.ceil(aligned * factor))
+            size = max(next_size, aligned + 8)
+        classes.append(SlabClassInfo(class_id, usable, 1))
+        return classes
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def slab_size(self) -> int:
+        return self._slab_size
+
+    @property
+    def max_slabs(self) -> int:
+        return self._max_slabs
+
+    @property
+    def allocated_slabs(self) -> int:
+        return sum(len(slabs) for slabs in self._slabs_by_class.values())
+
+    @property
+    def classes(self) -> Sequence[SlabClassInfo]:
+        return tuple(self._classes)
+
+    def class_info(self, class_id: int) -> SlabClassInfo:
+        try:
+            return self._classes[class_id - 1]
+        except IndexError:
+            raise ConfigurationError(f"no slab class {class_id}") from None
+
+    def class_for(self, size: int) -> Optional[int]:
+        """Smallest class whose chunk fits ``size`` bytes, or None."""
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        for info in self._classes:
+            if info.chunk_size >= size:
+                return info.class_id
+        return None
+
+    def slabs_of_class(self, class_id: int) -> Sequence[Slab]:
+        return tuple(self._slabs_by_class[class_id])
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def try_allocate(self, class_id: int, key: str) -> Optional[ChunkRef]:
+        """Steps 2-3 of the paper's allocation path: a free chunk in the
+        class, else a fresh slab.  Returns None when both fail (the engine
+        then runs eviction — step 4)."""
+        chunk = self._pop_free_chunk(class_id, key)
+        if chunk is not None:
+            return chunk
+        if self.allocated_slabs < self._max_slabs:
+            slab = self._grow_class(class_id)
+            free_list = self._free_chunks[class_id]
+            for index in range(len(slab.chunks)):
+                free_list.append(ChunkRef(slab, index))
+            return self._pop_free_chunk(class_id, key)
+        return None
+
+    def _pop_free_chunk(self, class_id: int, key: str) -> Optional[ChunkRef]:
+        free_list = self._free_chunks[class_id]
+        slabs = self._slabs_by_class[class_id]
+        while free_list:
+            chunk = free_list.pop()
+            # stale refs can linger after slab reassignment
+            if chunk.slab.class_id == class_id and \
+                    chunk.slab.chunks[chunk.index] is None and \
+                    chunk.slab in slabs:
+                chunk.slab.chunks[chunk.index] = key
+                chunk.slab.free_indices.remove(chunk.index)
+                return chunk
+        return None
+
+    def _grow_class(self, class_id: int) -> Slab:
+        info = self.class_info(class_id)
+        slab = Slab(self._next_slab_id, class_id, info.chunks_per_slab)
+        self._next_slab_id += 1
+        self._slabs_by_class[class_id].append(slab)
+        return slab
+
+    def free(self, chunk: ChunkRef) -> None:
+        """Return a chunk to its class's free pool."""
+        slab = chunk.slab
+        if slab.chunks[chunk.index] is None:
+            raise AllocationError("double free of a slab chunk")
+        slab.chunks[chunk.index] = None
+        slab.free_indices.append(chunk.index)
+        self._free_chunks[slab.class_id].append(ChunkRef(slab, chunk.index))
+
+    # ------------------------------------------------------------------
+    # calcification mitigation
+    # ------------------------------------------------------------------
+    def reassign_slab(self, slab: Slab, to_class: int) -> List[str]:
+        """Re-class a slab; returns the keys that were evicted with it.
+
+        The caller picks the victim slab (Twemcache picks randomly) and is
+        responsible for forgetting the returned occupants.
+        """
+        if slab not in self._slabs_by_class[slab.class_id]:
+            raise AllocationError("slab is not owned by its recorded class")
+        evicted = slab.occupants()
+        self._slabs_by_class[slab.class_id].remove(slab)
+        info = self.class_info(to_class)
+        reborn = Slab(slab.slab_id, to_class, info.chunks_per_slab)
+        self._slabs_by_class[to_class].append(reborn)
+        # stale free refs to the dead slab object are discarded lazily by
+        # try_allocate's validation; the reborn slab's chunks all go free
+        for index in range(info.chunks_per_slab):
+            self._free_chunks[to_class].append(ChunkRef(reborn, index))
+        return evicted
+
+    def donor_slabs(self, excluding_class: int) -> List[Slab]:
+        """Slabs that could be reassigned (any other class's slabs)."""
+        donors: List[Slab] = []
+        for class_id, slabs in self._slabs_by_class.items():
+            if class_id != excluding_class:
+                donors.extend(slabs)
+        return donors
+
+    # ------------------------------------------------------------------
+    # stats / validation
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "allocated_slabs": self.allocated_slabs,
+            "max_slabs": self._max_slabs,
+            "classes": len(self._classes),
+            "used_chunks": sum(slab.used_chunks
+                               for slabs in self._slabs_by_class.values()
+                               for slab in slabs),
+        }
+
+    def check_invariants(self) -> None:
+        """No chunk double-booked; free lists consistent (test hook)."""
+        for class_id, slabs in self._slabs_by_class.items():
+            for slab in slabs:
+                if slab.class_id != class_id:
+                    raise AllocationError("slab filed under the wrong class")
+                free = set(slab.free_indices)
+                for index, key in enumerate(slab.chunks):
+                    if (key is None) != (index in free):
+                        raise AllocationError(
+                            f"slab {slab.slab_id} chunk {index} inconsistent")

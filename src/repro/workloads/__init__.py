@@ -1,0 +1,60 @@
+"""Workload generation and trace IO (BG-like social benchmark, synthetics)."""
+
+from __future__ import annotations
+
+from repro.workloads.analysis import (
+    TraceProfile,
+    gini,
+    profile_trace,
+    top_share,
+    working_set_curve,
+)
+from repro.workloads.bg import (
+    DEFAULT_ACTIONS,
+    SYNTHETIC_COSTS,
+    BgAction,
+    BgConfig,
+    BgWorkload,
+)
+from repro.workloads.distributions import (
+    HotspotDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    solve_zipf_theta,
+)
+from repro.workloads.phases import phase_boundaries, phase_namespace, phased_trace
+from repro.workloads.synthetic import (
+    equal_size_variable_cost_trace,
+    three_cost_trace,
+    uniform_trace,
+    variable_size_constant_cost_trace,
+)
+from repro.workloads.trace import Trace, TraceRecord, read_trace, write_trace
+
+__all__ = [
+    "TraceProfile",
+    "profile_trace",
+    "top_share",
+    "gini",
+    "working_set_curve",
+    "Trace",
+    "TraceRecord",
+    "read_trace",
+    "write_trace",
+    "ZipfDistribution",
+    "HotspotDistribution",
+    "UniformDistribution",
+    "solve_zipf_theta",
+    "BgAction",
+    "BgConfig",
+    "BgWorkload",
+    "DEFAULT_ACTIONS",
+    "SYNTHETIC_COSTS",
+    "three_cost_trace",
+    "variable_size_constant_cost_trace",
+    "equal_size_variable_cost_trace",
+    "uniform_trace",
+    "phased_trace",
+    "phase_namespace",
+    "phase_boundaries",
+]

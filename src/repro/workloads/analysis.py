@@ -1,0 +1,144 @@
+"""Trace statistics: skew, working-set, size/cost distributions.
+
+The paper characterizes its traces by exactly these properties ("70% of
+requests referencing 20% of keys", three-valued costs, per-key fixed
+sizes); this module measures them on any trace, so users can check whether
+their production traces resemble the evaluated regime before trusting the
+figures.  Exposed on the CLI as ``repro-camp analyze``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.workloads.trace import Trace
+
+__all__ = ["TraceProfile", "profile_trace", "top_share", "gini",
+           "working_set_curve"]
+
+Number = Union[int, float]
+
+
+def top_share(trace: Trace, key_fraction: float = 0.2) -> float:
+    """Fraction of requests going to the hottest ``key_fraction`` of keys.
+
+    The paper's skew statement is ``top_share(trace, 0.2) ≈ 0.7``.
+    """
+    if not 0 < key_fraction <= 1:
+        raise ConfigurationError(
+            f"key_fraction must be in (0, 1], got {key_fraction}")
+    counts: Dict[str, int] = {}
+    for record in trace:
+        counts[record.key] = counts.get(record.key, 0) + 1
+    if not counts:
+        return 0.0
+    ordered = sorted(counts.values(), reverse=True)
+    take = max(1, int(round(key_fraction * len(ordered))))
+    return sum(ordered[:take]) / len(trace)
+
+
+def gini(values: Sequence[Number]) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = skewed)."""
+    items = sorted(float(v) for v in values)
+    if not items:
+        return 0.0
+    total = sum(items)
+    if total == 0:
+        return 0.0
+    n = len(items)
+    cumulative = 0.0
+    weighted = 0.0
+    for i, value in enumerate(items, start=1):
+        cumulative += value
+        weighted += cumulative
+    # standard formula: G = (n + 1 - 2 * Σ cum_i / total) / n
+    return (n + 1 - 2 * weighted / total) / n
+
+
+def working_set_curve(trace: Trace, points: int = 20
+                      ) -> List[Tuple[int, int]]:
+    """(requests seen, distinct bytes touched so far) at ``points`` samples.
+
+    The knee of this curve is what the *cache size ratio* axis of every
+    figure sweeps across.
+    """
+    if points < 1:
+        raise ConfigurationError(f"points must be >= 1, got {points}")
+    n = len(trace)
+    if n == 0:
+        return []
+    step = max(1, n // points)
+    seen: Dict[str, int] = {}
+    bytes_so_far = 0
+    curve: List[Tuple[int, int]] = []
+    for index, record in enumerate(trace, start=1):
+        if record.key not in seen:
+            seen[record.key] = record.size
+            bytes_so_far += record.size
+        if index % step == 0 or index == n:
+            curve.append((index, bytes_so_far))
+    return curve
+
+
+@dataclass(frozen=True, slots=True)
+class TraceProfile:
+    """Summary statistics of one trace."""
+
+    requests: int
+    unique_keys: int
+    unique_bytes: int
+    top20_request_share: float
+    size_min: int
+    size_max: int
+    size_mean: float
+    distinct_costs: int
+    cost_min: Number
+    cost_max: Number
+    cost_gini: float
+    cost_to_size_spread: float  # log10(max ratio / min ratio)
+
+    def lines(self) -> List[str]:
+        return [
+            f"requests            : {self.requests}",
+            f"unique keys         : {self.unique_keys}",
+            f"unique bytes        : {self.unique_bytes}",
+            f"top-20% key share   : {self.top20_request_share:.3f} "
+            f"(paper's regime ~0.70)",
+            f"value sizes         : min {self.size_min}  "
+            f"mean {self.size_mean:.0f}  max {self.size_max}",
+            f"distinct costs      : {self.distinct_costs} "
+            f"(min {self.cost_min}, max {self.cost_max})",
+            f"cost gini           : {self.cost_gini:.3f}",
+            f"ratio spread (log10): {self.cost_to_size_spread:.2f}",
+        ]
+
+
+def profile_trace(trace: Trace) -> TraceProfile:
+    """Compute a :class:`TraceProfile` in one pass over per-key properties."""
+    sizes: Dict[str, int] = {}
+    costs: Dict[str, Number] = {}
+    for record in trace:
+        sizes.setdefault(record.key, record.size)
+        costs.setdefault(record.key, record.cost)
+    if not sizes:
+        raise ConfigurationError("cannot profile an empty trace")
+    size_values = list(sizes.values())
+    cost_values = list(costs.values())
+    ratios = [max(costs[key], 1e-12) / sizes[key] for key in sizes]
+    return TraceProfile(
+        requests=len(trace),
+        unique_keys=len(sizes),
+        unique_bytes=sum(size_values),
+        top20_request_share=top_share(trace, 0.2),
+        size_min=min(size_values),
+        size_max=max(size_values),
+        size_mean=sum(size_values) / len(size_values),
+        distinct_costs=len(set(cost_values)),
+        cost_min=min(cost_values),
+        cost_max=max(cost_values),
+        cost_gini=gini(cost_values),
+        cost_to_size_spread=math.log10(max(ratios) / min(ratios)),
+    )

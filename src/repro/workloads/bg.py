@@ -1,0 +1,177 @@
+"""A BG-like social-networking workload generator.
+
+The paper's traces come from the BG benchmark [1,2]: emulated members of a
+social network "viewing one another's profile, listing their friends, and
+other interactive actions", keyed with a skew where ~70 % of requests
+reference ~20 % of keys.  BG itself is closed Java tooling, so (per the
+substitution policy in DESIGN.md §5) this module synthesizes traces with
+the same statistical shape the paper's evaluation relies on:
+
+* a member population; per-request member selection through a skewed rank
+  distribution (ranks are shuffled onto member ids so popularity is not
+  correlated with id);
+* BG's interactive actions, each producing a distinct key (``VP:1234`` =
+  View Profile of member 1234) with an action-specific size model
+  (profiles with thumbnails are KBs; friend lists scale with friend count);
+* a cost model: either *synthetic* — every key-value pair draws one of
+  {1, 100, 10000} with equal probability, fixed for the whole trace
+  (the paper's primary configuration, footnote 3) — or *rdbms* — a
+  latency model of the SQL queries BG issues (ms-scale lookups, heavier
+  for list operations).
+
+Sizes and costs are **properties of the key**, assigned on first reference
+and stable thereafter, exactly as the paper requires ("Once a cost is
+assigned to a key-value pair, it remains in effect for the entire trace").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import ZipfDistribution
+from repro.workloads.trace import Trace, TraceRecord
+
+__all__ = ["BgAction", "BgConfig", "BgWorkload", "SYNTHETIC_COSTS",
+           "DEFAULT_ACTIONS"]
+
+Number = Union[int, float]
+
+#: the paper's synthetic cost set (footnote 3)
+SYNTHETIC_COSTS: Tuple[int, ...] = (1, 100, 10_000)
+
+
+@dataclass(frozen=True, slots=True)
+class BgAction:
+    """One interactive social action.
+
+    ``size_mu``/``size_sigma`` parameterize a lognormal value-size model
+    (bytes, clamped to [min_size, max_size]); ``base_latency_ms`` and
+    ``latency_per_kb`` drive the RDBMS cost model.
+    """
+
+    code: str
+    weight: float
+    size_mu: float
+    size_sigma: float
+    min_size: int
+    max_size: int
+    base_latency_ms: float
+    latency_per_kb: float
+
+
+#: BG's read actions with plausible size/latency models: View Profile,
+#: List Friends, View Friend Requests (see the BG papers for the action mix)
+DEFAULT_ACTIONS: Tuple[BgAction, ...] = (
+    BgAction("VP", weight=0.40, size_mu=7.0, size_sigma=0.5,
+             min_size=256, max_size=16_384,
+             base_latency_ms=2.0, latency_per_kb=0.5),
+    BgAction("LF", weight=0.35, size_mu=7.8, size_sigma=0.8,
+             min_size=512, max_size=65_536,
+             base_latency_ms=5.0, latency_per_kb=1.0),
+    BgAction("VFR", weight=0.25, size_mu=6.2, size_sigma=0.6,
+             min_size=128, max_size=8_192,
+             base_latency_ms=3.0, latency_per_kb=0.8),
+)
+
+
+@dataclass(slots=True)
+class BgConfig:
+    """Knobs for one generated trace."""
+
+    members: int = 10_000
+    requests: int = 100_000
+    actions: Sequence[BgAction] = DEFAULT_ACTIONS
+    cost_model: str = "synthetic"          # "synthetic" | "rdbms"
+    synthetic_costs: Sequence[int] = SYNTHETIC_COSTS
+    key_share: float = 0.2
+    request_share: float = 0.7
+    key_prefix: str = ""                   # e.g. "tf1:" for phased traces
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.members < 1:
+            raise ConfigurationError("members must be >= 1")
+        if self.requests < 0:
+            raise ConfigurationError("requests must be >= 0")
+        if self.cost_model not in ("synthetic", "rdbms"):
+            raise ConfigurationError(
+                f"unknown cost model {self.cost_model!r}")
+        if not self.actions:
+            raise ConfigurationError("at least one action is required")
+
+
+class BgWorkload:
+    """Generates (key, size, cost) request streams per a :class:`BgConfig`."""
+
+    def __init__(self, config: BgConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._ranks = ZipfDistribution(
+            config.members,
+            key_share=config.key_share,
+            request_share=config.request_share,
+            seed=config.seed + 1)
+        # decouple popularity rank from member id
+        self._rank_to_member = list(range(config.members))
+        self._rng.shuffle(self._rank_to_member)
+        weights = [action.weight for action in config.actions]
+        total = sum(weights)
+        self._action_cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._action_cdf.append(acc)
+        # per-key fixed properties, assigned on first reference
+        self._sizes: Dict[str, int] = {}
+        self._costs: Dict[str, Number] = {}
+
+    # ------------------------------------------------------------------
+    # per-key property models
+    # ------------------------------------------------------------------
+    def _pick_action(self) -> BgAction:
+        r = self._rng.random()
+        for action, edge in zip(self.config.actions, self._action_cdf):
+            if r <= edge:
+                return action
+        return self.config.actions[-1]
+
+    def _size_for(self, key: str, action: BgAction) -> int:
+        size = self._sizes.get(key)
+        if size is None:
+            drawn = self._rng.lognormvariate(action.size_mu, action.size_sigma)
+            size = int(min(max(drawn, action.min_size), action.max_size))
+            self._sizes[key] = size
+        return size
+
+    def _cost_for(self, key: str, action: BgAction, size: int) -> Number:
+        cost = self._costs.get(key)
+        if cost is None:
+            if self.config.cost_model == "synthetic":
+                cost = self._rng.choice(list(self.config.synthetic_costs))
+            else:
+                kb = size / 1024.0
+                jitter = self._rng.uniform(0.8, 1.2)
+                cost = round((action.base_latency_ms +
+                              action.latency_per_kb * kb) * jitter, 3)
+            self._costs[key] = cost
+        return cost
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    def next_request(self) -> TraceRecord:
+        action = self._pick_action()
+        rank = self._ranks.sample()
+        member = self._rank_to_member[rank]
+        key = f"{self.config.key_prefix}{action.code}:{member}"
+        size = self._size_for(key, action)
+        cost = self._cost_for(key, action, size)
+        return TraceRecord(key, size, cost)
+
+    def generate(self, name: Optional[str] = None) -> Trace:
+        """Materialize the configured number of requests as a Trace."""
+        records = [self.next_request() for _ in range(self.config.requests)]
+        return Trace(records, name=name or f"bg-{self.config.cost_model}")

@@ -1,0 +1,132 @@
+"""Skewed key-popularity distributions.
+
+The paper configures BG so that "approximately 70% of requests reference
+20% of keys".  Two standard generators can express that skew:
+
+* :class:`ZipfDistribution` — ranks follow P(rank k) ∝ 1/k^theta.
+  :func:`solve_zipf_theta` finds the exponent whose top-``key_share`` ranks
+  attract ``request_share`` of requests (theta ≈ 0.716 for 70/20 at large
+  n, the classic figure).
+* :class:`HotspotDistribution` — an exact two-tier model: a hot set of
+  ``key_share * n`` keys receives exactly ``request_share`` of requests,
+  uniformly inside each tier.
+
+Both draw by *rank*; callers map ranks to shuffled key ids so popularity is
+decoupled from key naming.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ZipfDistribution", "HotspotDistribution", "UniformDistribution",
+           "solve_zipf_theta"]
+
+
+def _zipf_top_share(theta: float, n: int, key_share: float) -> float:
+    """Share of probability mass held by the top ``key_share`` of n ranks."""
+    weights = [1.0 / (k ** theta) for k in range(1, n + 1)]
+    total = sum(weights)
+    top = int(max(1, round(key_share * n)))
+    return sum(weights[:top]) / total
+
+
+def solve_zipf_theta(n: int,
+                     key_share: float = 0.2,
+                     request_share: float = 0.7,
+                     tolerance: float = 1e-4) -> float:
+    """Binary-search the Zipf exponent matching the requested skew."""
+    if not 0 < key_share < 1 or not 0 < request_share < 1:
+        raise ConfigurationError("shares must be in (0, 1)")
+    if request_share <= key_share:
+        return 0.0  # uniform already satisfies it
+    lo, hi = 0.0, 5.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if _zipf_top_share(mid, n, key_share) < request_share:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+class _CdfSampler:
+    """Draw ranks from an explicit cumulative distribution (O(log n))."""
+
+    def __init__(self, weights: Sequence[float], seed: int) -> None:
+        total = float(sum(weights))
+        if total <= 0:
+            raise ConfigurationError("weights must have positive sum")
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+
+class ZipfDistribution:
+    """Zipf(theta) over ranks 0..n-1 (rank 0 most popular)."""
+
+    def __init__(self, n: int, theta: Optional[float] = None,
+                 key_share: float = 0.2, request_share: float = 0.7,
+                 seed: int = 0) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if theta is None:
+            theta = solve_zipf_theta(n, key_share, request_share)
+        if theta < 0:
+            raise ConfigurationError(f"theta must be >= 0, got {theta}")
+        self.n = n
+        self.theta = theta
+        weights = [1.0 / ((k + 1) ** theta) for k in range(n)]
+        self._sampler = _CdfSampler(weights, seed)
+
+    def sample(self) -> int:
+        return self._sampler.sample()
+
+
+class HotspotDistribution:
+    """Exact hot-set skew: ``request_share`` of draws land uniformly in the
+    first ``key_share * n`` ranks, the rest uniformly in the cold ranks."""
+
+    def __init__(self, n: int, key_share: float = 0.2,
+                 request_share: float = 0.7, seed: int = 0) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if not 0 < key_share < 1 or not 0 < request_share < 1:
+            raise ConfigurationError("shares must be in (0, 1)")
+        self.n = n
+        self.hot_count = max(1, int(round(key_share * n)))
+        self.request_share = request_share
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        if self._rng.random() < self.request_share:
+            return self._rng.randrange(self.hot_count)
+        if self.hot_count >= self.n:
+            return self._rng.randrange(self.n)
+        return self._rng.randrange(self.hot_count, self.n)
+
+
+class UniformDistribution:
+    """Uniform ranks; the no-skew control."""
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        return self._rng.randrange(self.n)

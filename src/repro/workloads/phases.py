@@ -1,0 +1,67 @@
+"""Phased workloads — the evolving-access-pattern experiment (section 3.1).
+
+"In this experiment, we used ten different traces back to back ...
+requests from different traces are given distinct identification, so any
+request from a given trace file will never be requested again after that
+trace" — an adversarial sudden shift where previously hot (possibly
+expensive) pairs go permanently cold.
+
+:func:`phased_trace` concatenates per-phase traces whose keys are
+namespaced ``tf1:``, ``tf2:``, ... so the occupancy tracker can follow how
+much memory each phase's leftovers still hold (Figures 6c/6d).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import three_cost_trace
+from repro.workloads.trace import Trace
+
+__all__ = ["phased_trace", "phase_namespace", "phase_boundaries"]
+
+
+def phase_namespace(phase_index: int) -> str:
+    """Namespace for the 1-based phase index: ``tf1``, ``tf2``, ..."""
+    return f"tf{phase_index}"
+
+
+def phased_trace(phases: int = 10,
+                 requests_per_phase: int = 40_000,
+                 n_keys: int = 4000,
+                 seed: int = 0,
+                 phase_factory: Optional[Callable[[int, str], Trace]] = None
+                 ) -> Trace:
+    """Concatenate ``phases`` disjoint-key traces back to back.
+
+    By default each phase is a fresh three-cost BG-shaped trace (distinct
+    seed, distinct ``tfN:`` key namespace).  Pass ``phase_factory(index,
+    prefix) -> Trace`` to customize phase contents.
+    """
+    if phases < 1:
+        raise ConfigurationError(f"phases must be >= 1, got {phases}")
+    records = []
+    for index in range(1, phases + 1):
+        prefix = phase_namespace(index) + ":"
+        if phase_factory is not None:
+            phase = phase_factory(index, prefix)
+        else:
+            phase = three_cost_trace(n_keys=n_keys,
+                                     n_requests=requests_per_phase,
+                                     seed=seed + index * 1000,
+                                     key_prefix=prefix)
+        records.extend(phase.records)
+    return Trace(records, name=f"phased-x{phases}")
+
+
+def phase_boundaries(trace: Trace) -> List[int]:
+    """Request indices where the key namespace changes (diagnostics)."""
+    boundaries = []
+    previous = None
+    for index, record in enumerate(trace):
+        namespace, _, _ = record.key.partition(":")
+        if namespace != previous:
+            boundaries.append(index)
+            previous = namespace
+    return boundaries

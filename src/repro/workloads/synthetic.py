@@ -1,0 +1,137 @@
+"""The section 3.2 extreme traces and simple synthetic generators.
+
+"The most insightful results are obtained with the two possible extremes,
+namely, variable sized key-value pairs with almost similar costs and
+equi-sized key-value pairs with varying costs."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import ZipfDistribution
+from repro.workloads.trace import Trace, TraceRecord
+
+__all__ = [
+    "three_cost_trace",
+    "variable_size_constant_cost_trace",
+    "equal_size_variable_cost_trace",
+    "uniform_trace",
+]
+
+Number = Union[int, float]
+
+
+def _skewed_keys(n_keys: int, n_requests: int, seed: int,
+                 key_prefix: str) -> list:
+    ranks = ZipfDistribution(n_keys, seed=seed)
+    rng = random.Random(seed + 7)
+    rank_to_key = list(range(n_keys))
+    rng.shuffle(rank_to_key)
+    return [f"{key_prefix}k{rank_to_key[ranks.sample()]}"
+            for _ in range(n_requests)]
+
+
+def three_cost_trace(n_keys: int = 5000,
+                     n_requests: int = 50_000,
+                     costs: Sequence[int] = (1, 100, 10_000),
+                     size_values: Sequence[int] = (512, 1024, 2048,
+                                                   4096, 8192),
+                     size_range: Optional[tuple] = None,
+                     seed: int = 0,
+                     key_prefix: str = "") -> Trace:
+    """The paper's primary trace shape: skewed keys, per-key cost drawn
+    equiprobably from ``costs`` (fixed per key for the whole trace).
+
+    Sizes default to a small discrete set — BG's handful of read actions
+    produce a handful of value shapes — which keeps the number of distinct
+    cost-to-size ratios small, as the paper's Figure 5b queue counts imply.
+    Pass ``size_range`` for continuous uniform sizes instead.
+    """
+    if n_keys < 1 or n_requests < 0:
+        raise ConfigurationError("n_keys >= 1 and n_requests >= 0 required")
+    rng = random.Random(seed + 13)
+    keys = _skewed_keys(n_keys, n_requests, seed, key_prefix)
+    sizes: dict = {}
+    key_costs: dict = {}
+    records = []
+    for key in keys:
+        size = sizes.get(key)
+        if size is None:
+            if size_range is not None:
+                size = rng.randint(*size_range)
+            else:
+                size = rng.choice(list(size_values))
+            sizes[key] = size
+        cost = key_costs.setdefault(key, rng.choice(list(costs)))
+        records.append(TraceRecord(key, size, cost))
+    return Trace(records, name="three-cost")
+
+
+def variable_size_constant_cost_trace(n_keys: int = 5000,
+                                      n_requests: int = 50_000,
+                                      cost: int = 1,
+                                      size_range: tuple = (64, 65_536),
+                                      seed: int = 0,
+                                      key_prefix: str = "") -> Trace:
+    """Section 3.2 / Figure 7: sizes vary over orders of magnitude
+    (log-uniform), every pair costs the same; the cost-miss ratio equals
+    the miss rate by construction."""
+    if size_range[0] < 1 or size_range[0] >= size_range[1]:
+        raise ConfigurationError("size_range must satisfy 1 <= lo < hi")
+    rng = random.Random(seed + 17)
+    keys = _skewed_keys(n_keys, n_requests, seed, key_prefix)
+    sizes: dict = {}
+    records = []
+    lo, hi = size_range
+    for key in keys:
+        size = sizes.get(key)
+        if size is None:
+            # log-uniform so small and large values are both well represented
+            size = int(round(lo * (hi / lo) ** rng.random()))
+            sizes[key] = size
+        records.append(TraceRecord(key, size, cost))
+    return Trace(records, name="var-size-const-cost")
+
+
+def equal_size_variable_cost_trace(n_keys: int = 5000,
+                                   n_requests: int = 50_000,
+                                   size: int = 1024,
+                                   cost_range: tuple = (1, 100_000),
+                                   seed: int = 0,
+                                   key_prefix: str = "") -> Trace:
+    """Section 3.2 / Figure 8: every pair is ``size`` bytes; costs are
+    log-uniform over ``cost_range`` so there are "many more distinct cost
+    values" than the three-cost trace."""
+    if size < 1:
+        raise ConfigurationError("size must be >= 1")
+    if cost_range[0] < 1 or cost_range[0] >= cost_range[1]:
+        raise ConfigurationError("cost_range must satisfy 1 <= lo < hi")
+    rng = random.Random(seed + 19)
+    keys = _skewed_keys(n_keys, n_requests, seed, key_prefix)
+    costs: dict = {}
+    records = []
+    lo, hi = cost_range
+    for key in keys:
+        cost = costs.get(key)
+        if cost is None:
+            cost = int(round(lo * (hi / lo) ** rng.random()))
+            costs[key] = cost
+        records.append(TraceRecord(key, size, cost))
+    return Trace(records, name="equi-size-var-cost")
+
+
+def uniform_trace(n_keys: int = 1000,
+                  n_requests: int = 10_000,
+                  size: int = 100,
+                  cost: int = 1,
+                  seed: int = 0,
+                  key_prefix: str = "") -> Trace:
+    """Uniform popularity, fixed size and cost — the degenerate control
+    where every policy reduces to recency behaviour."""
+    rng = random.Random(seed)
+    records = [TraceRecord(f"{key_prefix}k{rng.randrange(n_keys)}", size, cost)
+               for _ in range(n_requests)]
+    return Trace(records, name="uniform")

@@ -1,0 +1,158 @@
+"""Trace records and file IO.
+
+The paper's traces are files of ~4 million rows where "each row identifies
+a referenced key-value pair, its size, and cost".  We use a CSV row format
+``key,size,cost`` (cost may be int or float), optionally gzip-compressed,
+plus an in-memory :class:`Trace` wrapper that caches per-trace aggregates
+(unique bytes — the denominator of the *cache size ratio*).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
+
+from repro.errors import TraceFormatError
+
+__all__ = ["TraceRecord", "Trace", "write_trace", "read_trace"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One request: the referenced key, its value size (bytes) and cost."""
+
+    key: str
+    size: int
+    cost: Number
+
+    def to_line(self) -> str:
+        return f"{self.key},{self.size},{self.cost}"
+
+    @classmethod
+    def from_line(cls, line: str, lineno: int = 0) -> "TraceRecord":
+        parts = line.rstrip("\n").split(",")
+        if len(parts) != 3:
+            raise TraceFormatError(
+                f"line {lineno}: expected 'key,size,cost', got {line!r}")
+        key, size_text, cost_text = parts
+        if not key:
+            raise TraceFormatError(f"line {lineno}: empty key")
+        try:
+            size = int(size_text)
+        except ValueError:
+            raise TraceFormatError(
+                f"line {lineno}: size {size_text!r} is not an integer") from None
+        try:
+            cost: Number = int(cost_text)
+        except ValueError:
+            try:
+                cost = float(cost_text)
+            except ValueError:
+                raise TraceFormatError(
+                    f"line {lineno}: cost {cost_text!r} is not numeric") from None
+        if size < 1:
+            raise TraceFormatError(f"line {lineno}: size must be >= 1")
+        if cost < 0:
+            raise TraceFormatError(f"line {lineno}: cost must be >= 0")
+        return cls(key, size, cost)
+
+
+class Trace:
+    """An in-memory request sequence with cached aggregates."""
+
+    def __init__(self, records: Sequence[TraceRecord], name: str = "trace") -> None:
+        self._records: List[TraceRecord] = list(records)
+        self.name = name
+        self._unique_bytes: int | None = None
+        self._unique_keys: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return self._records
+
+    def _compute_uniques(self) -> None:
+        sizes: Dict[str, int] = {}
+        for record in self._records:
+            sizes.setdefault(record.key, record.size)
+        self._unique_keys = len(sizes)
+        self._unique_bytes = sum(sizes.values())
+
+    @property
+    def unique_bytes(self) -> int:
+        """Total size of distinct keys — the cache-size-ratio denominator."""
+        if self._unique_bytes is None:
+            self._compute_uniques()
+        assert self._unique_bytes is not None
+        return self._unique_bytes
+
+    @property
+    def unique_keys(self) -> int:
+        if self._unique_keys is None:
+            self._compute_uniques()
+        assert self._unique_keys is not None
+        return self._unique_keys
+
+    def capacity_for_ratio(self, ratio: float) -> int:
+        """Cache bytes corresponding to a *cache size ratio* (section 3)."""
+        return max(1, int(self.unique_bytes * ratio))
+
+    def cost_histogram(self) -> Dict[Number, int]:
+        """Request counts per distinct cost value (pool-sizing oracle)."""
+        histogram: Dict[Number, int] = {}
+        for record in self._records:
+            histogram[record.cost] = histogram.get(record.cost, 0) + 1
+        return histogram
+
+    def concat(self, other: "Trace", name: str = "concat") -> "Trace":
+        return Trace(self._records + other.records, name=name)
+
+
+def _open_write(path: Union[str, os.PathLike]) -> io.TextIOBase:
+    text = str(path)
+    if text.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(text, "wb"), encoding="utf-8")
+    return open(text, "w", encoding="utf-8")
+
+
+def _open_read(path: Union[str, os.PathLike]) -> io.TextIOBase:
+    text = str(path)
+    if text.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(text, "rb"), encoding="utf-8")
+    return open(text, "r", encoding="utf-8")
+
+
+def write_trace(trace: Iterable[TraceRecord],
+                path: Union[str, os.PathLike]) -> int:
+    """Write records as ``key,size,cost`` lines; returns the row count."""
+    count = 0
+    with _open_write(path) as handle:
+        for record in trace:
+            handle.write(record.to_line())
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, os.PathLike], name: str = "") -> Trace:
+    """Read a trace file written by :func:`write_trace`."""
+    records = []
+    with _open_read(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            records.append(TraceRecord.from_line(line, lineno))
+    return Trace(records, name=name or os.path.basename(str(path)))

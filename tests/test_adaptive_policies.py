@@ -1,0 +1,230 @@
+"""LRU-K, 2Q and ARC tests (the paper's related-work baselines)."""
+
+import random
+
+import pytest
+
+from repro.core import ArcPolicy, LruKPolicy, TwoQPolicy
+from repro.core.policy import CacheItem
+from repro.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    EvictionError,
+    MissingKeyError,
+)
+
+
+class TestLruK:
+    def test_single_reference_items_evicted_first(self):
+        policy = LruKPolicy(k=2)
+        policy.on_insert("seen-once", 1, 1)
+        policy.on_insert("seen-twice", 1, 1)
+        policy.on_hit("seen-twice")
+        assert policy.pop_victim() == "seen-once"
+
+    def test_k2_prefers_older_second_reference(self):
+        policy = LruKPolicy(k=2)
+        policy.on_insert("a", 1, 1)   # seq 1
+        policy.on_insert("b", 1, 1)   # seq 2
+        policy.on_hit("a")            # a: [1, 3]
+        policy.on_hit("b")            # b: [2, 4]
+        policy.on_hit("a")            # a: [3, 5] -> kth-last = 3
+        # b's kth-last = 2 < a's 3 -> b evicted
+        assert policy.pop_victim() == "b"
+
+    def test_k1_behaves_like_lru(self):
+        policy = LruKPolicy(k=1)
+        for key in "abc":
+            policy.on_insert(key, 1, 1)
+        policy.on_hit("a")
+        assert policy.pop_victim() == "b"
+
+    def test_reference_count_caps_at_k(self):
+        policy = LruKPolicy(k=2)
+        policy.on_insert("a", 1, 1)
+        for _ in range(5):
+            policy.on_hit("a")
+        assert policy.reference_count("a") == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            LruKPolicy(k=0)
+
+    def test_errors(self):
+        policy = LruKPolicy()
+        with pytest.raises(EvictionError):
+            policy.pop_victim()
+        with pytest.raises(MissingKeyError):
+            policy.on_hit("x")
+        policy.on_insert("x", 1, 1)
+        with pytest.raises(DuplicateKeyError):
+            policy.on_insert("x", 1, 1)
+        policy.on_remove("x")
+        assert len(policy) == 0
+
+
+class TestTwoQ:
+    def test_first_timers_enter_a1in(self):
+        policy = TwoQPolicy(capacity=100)
+        policy.on_insert("a", 10, 1)
+        assert policy.stats()["a1in_items"] == 1
+        assert policy.stats()["am_items"] == 0
+
+    def test_ghost_hit_promotes_to_main(self):
+        policy = TwoQPolicy(capacity=100, kin=0.25, kout=0.5)
+        # fill A1in beyond its budget (25 bytes) and evict
+        for i in range(4):
+            policy.on_insert(f"k{i}", 10, 1)
+        victim = policy.pop_victim()   # A1in over budget -> FIFO evict k0
+        assert victim == "k0"
+        assert policy.in_ghost("k0")
+        policy.on_insert("k0", 10, 1)  # back from ghost -> Am
+        assert policy.stats()["am_items"] == 1
+
+    def test_a1in_hit_does_not_reorder(self):
+        policy = TwoQPolicy(capacity=100)
+        policy.on_insert("a", 10, 1)
+        policy.on_insert("b", 10, 1)
+        policy.on_insert("c", 10, 1)
+        policy.on_hit("a")
+        # force A1in over budget then evict: "a" still first out
+        policy.on_insert("d", 10, 1)
+        assert policy.pop_victim() == "a"
+
+    def test_main_queue_is_lru(self):
+        policy = TwoQPolicy(capacity=100, kin=0.25, kout=1.0)
+        # push x and y through A1in (budget 25) into the ghost
+        for key in ["x", "y", "pad1", "pad2", "pad3"]:
+            policy.on_insert(key, 10, 1)
+        while policy.stats()["a1in_bytes"] > 25:
+            policy.pop_victim()
+        assert policy.in_ghost("x") and policy.in_ghost("y")
+        # readmission from the ghost goes to the main (LRU) queue
+        policy.on_insert("x", 10, 1)
+        policy.on_insert("y", 10, 1)
+        assert policy.stats()["am_items"] == 2
+        policy.on_hit("x")  # x becomes MRU of Am
+        # Am yields y before x (LRU), then A1in drains FIFO
+        victims = [policy.pop_victim() for _ in range(len(policy))]
+        assert victims.index("y") < victims.index("x")
+
+    def test_ghost_bytes_bounded(self):
+        policy = TwoQPolicy(capacity=100, kin=0.25, kout=0.5)
+        for i in range(50):
+            policy.on_insert(f"k{i}", 10, 1)
+            while len(policy) > 3:
+                policy.pop_victim()
+        assert policy.stats()["ghost_items"] <= 5  # 50 bytes / 10 each
+
+    def test_remove_from_either_queue(self):
+        policy = TwoQPolicy(capacity=100)
+        policy.on_insert("a", 10, 1)
+        policy.on_remove("a")
+        assert len(policy) == 0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            TwoQPolicy(capacity=0)
+        with pytest.raises(ConfigurationError):
+            TwoQPolicy(capacity=100, kin=0.0)
+        with pytest.raises(ConfigurationError):
+            TwoQPolicy(capacity=100, kout=0)
+
+    def test_errors(self):
+        policy = TwoQPolicy(capacity=100)
+        with pytest.raises(EvictionError):
+            policy.pop_victim()
+        with pytest.raises(MissingKeyError):
+            policy.on_hit("ghost")
+
+
+class TestArc:
+    def test_hit_promotes_t1_to_t2(self):
+        arc = ArcPolicy(capacity=100)
+        arc.on_insert("a", 10, 1)
+        assert arc.stats()["t1_bytes"] == 10
+        arc.on_hit("a")
+        assert arc.stats()["t1_bytes"] == 0
+        assert arc.stats()["t2_bytes"] == 10
+
+    def test_scan_resistance(self):
+        """A one-pass scan must not flush the frequently hit working set."""
+        arc = ArcPolicy(capacity=200)
+        # working set, hit repeatedly -> lives in T2
+        for key in ["w1", "w2"]:
+            arc.on_insert(key, 50, 1)
+            arc.on_hit(key)
+            arc.on_hit(key)
+        # scan of one-shot keys
+        scanned_victims = []
+        for i in range(20):
+            item = CacheItem(f"scan{i}", 50, 1)
+            while arc.wants_eviction(item, 200 - _used(arc)):
+                scanned_victims.append(arc.pop_victim(item))
+            arc.on_insert(item.key, item.size, item.cost)
+        assert "w1" not in scanned_victims[:10]
+        assert "w2" not in scanned_victims[:10]
+
+    def test_ghost_hit_adapts_target(self):
+        arc = ArcPolicy(capacity=100)
+        for i in range(4):
+            arc.on_insert(f"k{i}", 25, 1)
+        item = CacheItem("k99", 25, 1)
+        arc.pop_victim(item)   # k0 -> B1 ghost
+        arc.on_insert("k99", 25, 1)
+        before = arc.target_t1_bytes
+        # re-request k0: it is in B1, so p should grow
+        item0 = CacheItem("k0", 25, 1)
+        arc.pop_victim(item0)
+        arc.on_insert("k0", 25, 1)
+        assert arc.target_t1_bytes >= before
+
+    def test_b1_readmission_goes_to_t2(self):
+        # capacity leaves headroom so ghost entries survive the T1+B1 bound
+        arc = ArcPolicy(capacity=200)
+        for i in range(4):
+            arc.on_insert(f"k{i}", 25, 1)
+        victim = arc.pop_victim(CacheItem("new", 25, 1))
+        arc.on_insert("new", 25, 1)
+        arc.pop_victim(CacheItem(victim, 25, 1))
+        arc.on_insert(victim, 25, 1)   # was in B1
+        assert arc.stats()["t2_bytes"] >= 25
+
+    def test_remove(self):
+        arc = ArcPolicy(capacity=100)
+        arc.on_insert("a", 10, 1)
+        arc.on_hit("a")
+        arc.on_remove("a")
+        assert len(arc) == 0
+        assert arc.stats()["t2_bytes"] == 0
+
+    def test_directory_bounded(self):
+        arc = ArcPolicy(capacity=100)
+        rng = random.Random(1)
+        for i in range(500):
+            key = f"k{rng.randrange(100)}"
+            if key in arc:
+                arc.on_hit(key)
+                continue
+            item = CacheItem(key, 10, 1)
+            while arc.wants_eviction(item, 100 - _used(arc)):
+                arc.pop_victim(item)
+            arc.on_insert(key, 10, 1)
+            stats = arc.stats()
+            directory_bytes = (stats["t1_bytes"] + stats["t2_bytes"] +
+                               10 * stats["b1_keys"] + 10 * stats["b2_keys"])
+            assert directory_bytes <= 2 * 100 + 10
+
+    def test_errors(self):
+        arc = ArcPolicy(capacity=100)
+        with pytest.raises(EvictionError):
+            arc.pop_victim()
+        with pytest.raises(MissingKeyError):
+            arc.on_hit("x")
+        with pytest.raises(ConfigurationError):
+            ArcPolicy(capacity=0)
+
+
+def _used(arc):
+    stats = arc.stats()
+    return stats["t1_bytes"] + stats["t2_bytes"]

@@ -1,0 +1,126 @@
+"""Buddy allocator tests: split/coalesce correctness and arena tiling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.twemcache import BuddyAllocator
+
+
+class TestBasics:
+    def test_allocates_power_of_two_blocks(self):
+        buddy = BuddyAllocator(1024, min_block=64)
+        assert buddy.block_size_for(1) == 64
+        assert buddy.block_size_for(64) == 64
+        assert buddy.block_size_for(65) == 128
+        assert buddy.block_size_for(1000) == 1024
+
+    def test_allocate_free_round_trip(self):
+        buddy = BuddyAllocator(1024, min_block=64)
+        offset = buddy.allocate(100)
+        assert buddy.allocated_bytes == 128
+        buddy.free(offset)
+        assert buddy.allocated_bytes == 0
+        buddy.check_invariants()
+
+    def test_distinct_offsets(self):
+        buddy = BuddyAllocator(1024, min_block=64)
+        offsets = [buddy.allocate(64) for _ in range(16)]
+        assert len(set(offsets)) == 16
+        buddy.check_invariants()
+
+    def test_arena_floors_to_power_of_two(self):
+        buddy = BuddyAllocator(1000, min_block=64)
+        assert buddy.arena_bytes == 512
+
+    def test_exhaustion_raises(self):
+        buddy = BuddyAllocator(256, min_block=64)
+        for _ in range(4):
+            buddy.allocate(64)
+        with pytest.raises(AllocationError):
+            buddy.allocate(1)
+
+    def test_oversized_raises(self):
+        buddy = BuddyAllocator(256, min_block=64)
+        with pytest.raises(AllocationError):
+            buddy.allocate(512)
+
+    def test_double_free_raises(self):
+        buddy = BuddyAllocator(256, min_block=64)
+        offset = buddy.allocate(64)
+        buddy.free(offset)
+        with pytest.raises(AllocationError):
+            buddy.free(offset)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(256, min_block=60)   # not a power of two
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(16, min_block=64)    # arena < min block
+
+
+class TestCoalescing:
+    def test_buddies_merge_on_free(self):
+        buddy = BuddyAllocator(256, min_block=64)
+        a = buddy.allocate(64)
+        b = buddy.allocate(64)
+        c = buddy.allocate(128)
+        buddy.free(a)
+        buddy.free(b)
+        buddy.free(c)
+        # everything merged back: one 256-byte allocation must now succeed
+        offset = buddy.allocate(256)
+        assert offset == 0
+        buddy.check_invariants()
+
+    def test_fragmented_arena_cannot_serve_big_block(self):
+        buddy = BuddyAllocator(256, min_block=64)
+        offsets = [buddy.allocate(64) for _ in range(4)]
+        buddy.free(offsets[0])
+        buddy.free(offsets[2])   # two free 64s, but not buddies
+        with pytest.raises(AllocationError):
+            buddy.allocate(128)
+        buddy.check_invariants()
+
+    def test_split_preserves_alignment(self):
+        buddy = BuddyAllocator(1024, min_block=64)
+        offsets = [buddy.allocate(size) for size in (64, 128, 256, 64)]
+        for offset, (block, _) in buddy.allocations().items():
+            assert offset % block == 0
+        buddy.check_invariants()
+
+
+class TestFragmentationMetric:
+    def test_zero_when_idle(self):
+        assert BuddyAllocator(256).fragmentation() == 0.0
+
+    def test_counts_rounding_waste(self):
+        buddy = BuddyAllocator(1024, min_block=64)
+        buddy.allocate(65)   # occupies 128
+        assert buddy.fragmentation() == pytest.approx(1 - 65 / 128)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["alloc", "free"]),
+                          st.integers(1, 300)),
+                min_size=1, max_size=120))
+def test_buddy_invariants_under_churn(ops):
+    buddy = BuddyAllocator(4096, min_block=64)
+    live = []
+    for op, size in ops:
+        if op == "alloc":
+            try:
+                live.append(buddy.allocate(size))
+            except AllocationError:
+                pass
+        elif live:
+            buddy.free(live.pop(random.Random(size).randrange(len(live))))
+    buddy.check_invariants()
+    for offset in live:
+        buddy.free(offset)
+    assert buddy.allocated_bytes == 0
+    assert buddy.free_bytes == buddy.arena_bytes
+    buddy.check_invariants()

@@ -1,0 +1,75 @@
+"""CLI tests (argument parsing and end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.scale == "default"
+        assert args.experiments == ["table1"]
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--scale", "huge"])
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "t.csv",
+                                       "--policy", "quantum"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out and "table1" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "101100000" in out
+
+    def test_run_csv(self, capsys):
+        assert main(["run", "table1", "--scale", "tiny", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "value,regular rounding,CAMP rounding" in out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99", "--scale", "tiny"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_gen_and_simulate(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.csv")
+        assert main(["gen-trace", "three-cost", path,
+                     "--keys", "100", "--requests", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 1000 requests" in out
+        assert main(["simulate", path, "--policy", "camp",
+                     "--ratio", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "cost-miss ratio" in out
+        assert "miss rate" in out
+
+    def test_simulate_all_registered_policies(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.csv")
+        main(["gen-trace", "three-cost", path,
+              "--keys", "50", "--requests", "400"])
+        capsys.readouterr()
+        for policy in ("lru", "gds", "pooled-lru", "arc"):
+            assert main(["simulate", path, "--policy", policy]) == 0
+            capsys.readouterr()
+
+    @pytest.mark.parametrize("kind", ["var-size", "equi-size", "bg",
+                                      "phased"])
+    def test_gen_trace_kinds(self, tmp_path, capsys, kind):
+        path = str(tmp_path / f"{kind}.csv.gz")
+        assert main(["gen-trace", kind, path,
+                     "--keys", "50", "--requests", "500"]) == 0
+        assert "wrote" in capsys.readouterr().out

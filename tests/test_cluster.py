@@ -1,0 +1,136 @@
+"""Consistent-hash ring and cooperative-cluster tests."""
+
+import random
+
+import pytest
+
+from repro.cluster import CooperativeCluster, HashRing
+from repro.errors import ClusterError, ConfigurationError
+
+
+class TestHashRing:
+    def test_primary_is_stable(self):
+        ring = HashRing()
+        for name in ("a", "b", "c"):
+            ring.add_node(name)
+        assert ring.primary("key1") == ring.primary("key1")
+
+    def test_preference_list_distinct(self):
+        ring = HashRing()
+        for name in ("a", "b", "c", "d"):
+            ring.add_node(name)
+        holders = ring.preference_list("k", 3)
+        assert len(holders) == len(set(holders)) == 3
+
+    def test_preference_list_capped_at_node_count(self):
+        ring = HashRing()
+        ring.add_node("only")
+        assert ring.preference_list("k", 5) == ["only"]
+
+    def test_balanced_distribution(self):
+        ring = HashRing(vnodes=128)
+        for name in ("a", "b", "c", "d"):
+            ring.add_node(name)
+        counts = {name: 0 for name in ring.nodes}
+        for i in range(8000):
+            counts[ring.primary(f"key{i}")] += 1
+        for count in counts.values():
+            assert 0.15 < count / 8000 < 0.40   # roughly 25% each
+
+    def test_removal_moves_only_owned_keys(self):
+        ring = HashRing(vnodes=64)
+        for name in ("a", "b", "c"):
+            ring.add_node(name)
+        before = {f"k{i}": ring.primary(f"k{i}") for i in range(500)}
+        ring.remove_node("b")
+        for key, owner in before.items():
+            if owner != "b":
+                assert ring.primary(key) == owner
+
+    def test_errors(self):
+        ring = HashRing()
+        with pytest.raises(ClusterError):
+            ring.primary("k")
+        ring.add_node("a")
+        with pytest.raises(ClusterError):
+            ring.add_node("a")
+        with pytest.raises(ClusterError):
+            ring.remove_node("b")
+        with pytest.raises(ConfigurationError):
+            ring.preference_list("k", 0)
+        with pytest.raises(ConfigurationError):
+            HashRing(vnodes=0)
+
+
+class TestCooperativeCluster:
+    def build(self, replicas=2, capacity=5_000):
+        return CooperativeCluster(["n1", "n2", "n3"],
+                                  capacity_per_node=capacity,
+                                  replicas=replicas)
+
+    def test_miss_then_local_hit(self):
+        cluster = self.build()
+        assert cluster.get("k", 100, 10) == "miss"
+        assert cluster.get("k", 100, 10) == "local"
+        assert cluster.stats()["misses"] == 1
+        assert cluster.stats()["local_hits"] == 1
+
+    def test_replication_count(self):
+        cluster = self.build(replicas=2)
+        cluster.get("k", 100, 10)
+        assert len(cluster.resident_nodes("k")) == 2
+
+    def test_remote_hit_rereplicates(self):
+        cluster = self.build(replicas=2)
+        cluster.get("k", 100, 10)
+        holders = cluster.ring.preference_list("k", 2)
+        primary = cluster.node(holders[0])
+        primary.kvs.delete("k")   # simulate primary losing its copy
+        assert cluster.get("k", 100, 10) == "remote"
+        assert "k" in primary
+
+    def test_last_replica_gets_reprieve(self):
+        cluster = CooperativeCluster(["n1"], capacity_per_node=1_000,
+                                     replicas=1)
+        node = cluster.node("n1")
+        # fill with cheap items, then push a stream through: every victim is
+        # a last replica, so the policy grants one reprieve each
+        for i in range(30):
+            cluster.get(f"k{i}", 100, 1)
+        assert cluster.stats()["reprieves"] > 0
+        assert len(node.kvs) <= 10
+
+    def test_spared_pair_eventually_evicted(self):
+        """The paper's challenge: a never-again-accessed last replica must
+        not occupy memory forever."""
+        cluster = CooperativeCluster(["n1"], capacity_per_node=1_000,
+                                     replicas=1)
+        cluster.get("dead", 100, 500)   # expensive, never touched again
+        # L climbs ~1 per (resident count) evictions, so give the stream
+        # comfortably more than 500 * 10 filler misses
+        for i in range(8000):
+            cluster.get(f"filler{i}", 100, 1)
+        assert cluster.resident_nodes("dead") == []
+
+    def test_workload_distribution(self):
+        cluster = self.build(capacity=50_000)
+        rng = random.Random(0)
+        for _ in range(3000):
+            key = f"k{rng.randrange(300)}"
+            cluster.get(key, rng.randrange(50, 200),
+                        rng.choice([1, 100, 10_000]))
+        stats = cluster.stats()
+        assert stats["local_hits"] > 0
+        assert stats["resident_items"] > 0
+        sizes = [len(node.kvs) for node in cluster.nodes()]
+        assert all(size > 0 for size in sizes)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            CooperativeCluster([], 1000)
+        with pytest.raises(ConfigurationError):
+            CooperativeCluster(["a", "a"], 1000)
+        with pytest.raises(ConfigurationError):
+            CooperativeCluster(["a"], 1000, replicas=0)
+        with pytest.raises(ClusterError):
+            self.build().node("ghost")

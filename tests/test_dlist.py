@@ -1,0 +1,208 @@
+"""Unit tests for the intrusive doubly-linked list."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.structures import DList, DListNode
+
+
+class Payload(DListNode):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+
+def values(lst):
+    return [node.value for node in lst]
+
+
+class TestBasics:
+    def test_empty_list(self):
+        lst = DList()
+        assert len(lst) == 0
+        assert not lst
+        assert lst.head is None
+        assert lst.tail is None
+
+    def test_append_orders_head_to_tail(self):
+        lst = DList()
+        for v in [1, 2, 3]:
+            lst.append(Payload(v))
+        assert values(lst) == [1, 2, 3]
+        assert lst.head.value == 1
+        assert lst.tail.value == 3
+
+    def test_appendleft(self):
+        lst = DList()
+        for v in [1, 2, 3]:
+            lst.appendleft(Payload(v))
+        assert values(lst) == [3, 2, 1]
+
+    def test_len_tracks_membership(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(5)]
+        for n in nodes:
+            lst.append(n)
+        assert len(lst) == 5
+        lst.remove(nodes[2])
+        assert len(lst) == 4
+
+    def test_linked_flag(self):
+        lst = DList()
+        node = Payload(1)
+        assert not node.linked
+        lst.append(node)
+        assert node.linked
+        lst.remove(node)
+        assert not node.linked
+
+
+class TestRemoval:
+    def test_remove_middle(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(3)]
+        for n in nodes:
+            lst.append(n)
+        lst.remove(nodes[1])
+        assert values(lst) == [0, 2]
+
+    def test_remove_head_updates_head(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(3)]
+        for n in nodes:
+            lst.append(n)
+        lst.remove(nodes[0])
+        assert lst.head.value == 1
+
+    def test_remove_tail_updates_tail(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(3)]
+        for n in nodes:
+            lst.append(n)
+        lst.remove(nodes[2])
+        assert lst.tail.value == 1
+
+    def test_popleft_returns_head(self):
+        lst = DList()
+        for v in [1, 2]:
+            lst.append(Payload(v))
+        assert lst.popleft().value == 1
+        assert lst.popleft().value == 2
+
+    def test_pop_returns_tail(self):
+        lst = DList()
+        for v in [1, 2]:
+            lst.append(Payload(v))
+        assert lst.pop().value == 2
+
+    def test_popleft_empty_raises(self):
+        with pytest.raises(ReproError):
+            DList().popleft()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ReproError):
+            DList().pop()
+
+    def test_remove_foreign_node_raises(self):
+        a, b = DList(), DList()
+        node = Payload(1)
+        a.append(node)
+        with pytest.raises(ReproError):
+            b.remove(node)
+
+    def test_double_append_raises(self):
+        lst = DList()
+        node = Payload(1)
+        lst.append(node)
+        with pytest.raises(ReproError):
+            lst.append(node)
+
+    def test_append_into_second_list_raises(self):
+        a, b = DList(), DList()
+        node = Payload(1)
+        a.append(node)
+        with pytest.raises(ReproError):
+            b.append(node)
+
+    def test_node_reusable_after_removal(self):
+        a, b = DList(), DList()
+        node = Payload(1)
+        a.append(node)
+        a.remove(node)
+        b.append(node)
+        assert values(b) == [1]
+
+
+class TestMoves:
+    def test_move_to_tail(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(3)]
+        for n in nodes:
+            lst.append(n)
+        lst.move_to_tail(nodes[0])
+        assert values(lst) == [1, 2, 0]
+
+    def test_move_to_tail_of_tail_is_noop(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(3)]
+        for n in nodes:
+            lst.append(n)
+        lst.move_to_tail(nodes[2])
+        assert values(lst) == [0, 1, 2]
+
+    def test_move_to_tail_singleton(self):
+        lst = DList()
+        node = Payload(1)
+        lst.append(node)
+        lst.move_to_tail(node)
+        assert values(lst) == [1]
+
+    def test_insert_after(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(3)]
+        for n in nodes:
+            lst.append(n)
+        lst.insert_after(nodes[0], Payload(99))
+        assert values(lst) == [0, 99, 1, 2]
+
+    def test_insert_after_tail(self):
+        lst = DList()
+        node = Payload(0)
+        lst.append(node)
+        lst.insert_after(node, Payload(1))
+        assert values(lst) == [0, 1]
+        assert lst.tail.value == 1
+
+
+class TestIterationAndSuccessor:
+    def test_iteration_survives_removal_of_current(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(5)]
+        for n in nodes:
+            lst.append(n)
+        seen = []
+        for node in lst:
+            seen.append(node.value)
+            if node.value % 2 == 0:
+                lst.remove(node)
+        assert seen == [0, 1, 2, 3, 4]
+        assert values(lst) == [1, 3]
+
+    def test_successor(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(3)]
+        for n in nodes:
+            lst.append(n)
+        assert lst.successor(nodes[0]) is nodes[1]
+        assert lst.successor(nodes[2]) is None
+
+    def test_clear(self):
+        lst = DList()
+        nodes = [Payload(v) for v in range(3)]
+        for n in nodes:
+            lst.append(n)
+        lst.clear()
+        assert len(lst) == 0
+        assert all(not n.linked for n in nodes)

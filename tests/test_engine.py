@@ -1,0 +1,179 @@
+"""Twemcache engine tests: the four-step allocation path, expiry, CAMP mode."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.twemcache import ITEM_HEADER_SIZE, TwemcacheEngine, VirtualClock
+
+
+def small_engine(eviction="lru", memory=1 << 20, slab_size=1 << 18, **kw):
+    return TwemcacheEngine(memory, eviction=eviction, slab_size=slab_size,
+                           **kw)
+
+
+def whole_slab_value_len(engine, key):
+    """Value length putting key+value+header exactly in the largest class."""
+    largest = engine.allocator.classes[-1].chunk_size
+    return largest - ITEM_HEADER_SIZE - len(key)
+
+
+class TestGetSetDelete:
+    def test_round_trip(self):
+        engine = small_engine()
+        assert engine.set("k", b"value", flags=3, cost=10)
+        item = engine.get("k")
+        assert item.value == b"value"
+        assert item.flags == 3
+        assert item.cost == 10
+        engine.check_consistency()
+
+    def test_miss_returns_none(self):
+        engine = small_engine()
+        assert engine.get("ghost") is None
+        assert engine.misses == 1
+
+    def test_overwrite_frees_old_chunk(self):
+        engine = small_engine()
+        engine.set("k", b"a" * 50)
+        engine.set("k", b"b" * 5000)   # different slab class
+        assert engine.get("k").value == b"b" * 5000
+        assert len(engine) == 1
+        engine.check_consistency()
+
+    def test_delete(self):
+        engine = small_engine()
+        engine.set("k", b"v")
+        assert engine.delete("k")
+        assert not engine.delete("k")
+        assert engine.get("k") is None
+        engine.check_consistency()
+
+    def test_value_too_large_rejected(self):
+        engine = small_engine(slab_size=1 << 12)
+        assert not engine.set("k", b"x" * (1 << 13))
+
+    def test_touch_cost(self):
+        engine = small_engine()
+        engine.set("k", b"v", cost=1)
+        assert engine.touch_cost("k", 999)
+        assert engine.get("k").cost == 999
+        assert not engine.touch_cost("ghost", 1)
+
+    def test_invalid_eviction_kind(self):
+        with pytest.raises(ConfigurationError):
+            TwemcacheEngine(1 << 20, eviction="random")
+
+
+class TestExpiry:
+    def test_expired_item_misses(self):
+        clock = VirtualClock()
+        engine = small_engine(clock=clock)
+        engine.set("k", b"v", expire_after=10)
+        assert engine.get("k") is not None
+        clock.advance(11)
+        assert engine.get("k") is None
+        engine.check_consistency()
+
+    def test_expired_reclaim_on_set(self):
+        """Step 1: an expired pair of the class is replaced first."""
+        clock = VirtualClock()
+        # exactly one chunk available per class-1 slab budget
+        engine = TwemcacheEngine(1 << 12, eviction="lru",
+                                 slab_size=1 << 12, clock=clock)
+        big = whole_slab_value_len(engine, "old")
+        engine.set("old", b"x" * big, expire_after=5)
+        clock.advance(10)
+        assert engine.set("new", b"y" * big)
+        assert engine.expired_reclaims >= 1 or engine.evictions >= 1
+        assert "new" in engine
+        assert "old" not in engine
+        engine.check_consistency()
+
+    def test_zero_exptime_never_expires(self):
+        clock = VirtualClock()
+        engine = small_engine(clock=clock)
+        engine.set("k", b"v", expire_after=0)
+        clock.advance(10 ** 9)
+        assert engine.get("k") is not None
+
+
+class TestEvictionPath:
+    def test_lru_eviction_within_class(self):
+        engine = TwemcacheEngine(1 << 12, eviction="lru", slab_size=1 << 12,
+                                 random_slab_eviction=False)
+        big = whole_slab_value_len(engine, "second")
+        engine.set("first", b"x" * big)
+        engine.set("second", b"y" * big)   # must evict "first"
+        assert "first" not in engine
+        assert "second" in engine
+        assert engine.evictions == 1
+        engine.check_consistency()
+
+    def test_camp_eviction_prefers_cheap(self):
+        engine = TwemcacheEngine(1 << 14, eviction="camp",
+                                 slab_size=1 << 12,
+                                 random_slab_eviction=False)
+        # 4 slabs of one whole-slab class; fill with known costs
+        big = whole_slab_value_len(engine, "newbie")
+        engine.set("cheap", b"a" * big, cost=1)
+        engine.set("dear1", b"b" * big, cost=10_000)
+        engine.set("dear2", b"c" * big, cost=10_000)
+        engine.set("dear3", b"d" * big, cost=10_000)
+        engine.set("newbie", b"e" * big, cost=100)   # evicts ...
+        assert "cheap" not in engine
+        assert all(k in engine for k in ("dear1", "dear2", "dear3", "newbie"))
+        engine.check_consistency()
+
+    def test_random_slab_eviction_cures_calcification(self):
+        """The paper's calcification scenario: all slabs assigned to class 1,
+        then the workload shifts to a larger class."""
+        engine = TwemcacheEngine(2 << 12, eviction="lru", slab_size=1 << 12,
+                                 seed=3)
+        # consume both slabs with small items
+        small = 60 - ITEM_HEADER_SIZE
+        i = 0
+        while engine.allocator.allocated_slabs < 2:
+            engine.set(f"small{i}", b"s" * small)
+            i += 1
+        # now a big item arrives: class has no slabs -> steal one
+        big = whole_slab_value_len(engine, "big")
+        assert engine.set("big", b"B" * big)
+        assert engine.slab_reassignments == 1
+        assert "big" in engine
+        engine.check_consistency()
+
+    def test_calcification_fails_without_random_eviction(self):
+        engine = TwemcacheEngine(2 << 12, eviction="lru", slab_size=1 << 12,
+                                 random_slab_eviction=False)
+        small = 60 - ITEM_HEADER_SIZE
+        i = 0
+        while engine.allocator.allocated_slabs < 2:
+            engine.set(f"small{i}", b"s" * small)
+            i += 1
+        big = whole_slab_value_len(engine, "big")
+        assert not engine.set("big", b"B" * big)   # stuck: calcified
+        engine.check_consistency()
+
+
+class TestChurnConsistency:
+    @pytest.mark.parametrize("eviction", ["lru", "camp"])
+    def test_random_workload(self, eviction):
+        engine = TwemcacheEngine(1 << 20, eviction=eviction,
+                                 slab_size=1 << 16, seed=11)
+        rng = random.Random(5)
+        for step in range(1500):
+            key = f"k{rng.randrange(200)}"
+            if engine.get(key) is None:
+                size = rng.choice([30, 200, 1500, 8000])
+                engine.set(key, b"v" * size,
+                           cost=rng.choice([1, 100, 10_000]))
+            if step % 37 == 0:
+                engine.delete(key)
+            if step % 250 == 0:
+                engine.check_consistency()
+        engine.check_consistency()
+        stats = engine.stats()
+        assert stats["items"] == len(engine)
+        assert stats["hits"] + stats["misses"] >= 1500

@@ -1,0 +1,114 @@
+"""Experiment registry tests: every figure runs at tiny scale and shows the
+paper's qualitative shape where tiny-scale noise allows asserting it."""
+
+import pytest
+
+from repro.analysis import Table
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    get_scale,
+    list_experiments,
+    primary_trace,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_every_experiment_listed(self):
+        ids = {spec.experiment_id for spec in list_experiments()}
+        expected = {"table1", "fig4", "fig5a", "fig5b", "fig5cd", "fig6ab",
+                    "fig6c", "fig6d", "fig7", "fig8ab", "fig8c", "fig9",
+                    "ablation-heap", "ablation-rounding",
+                    "ablation-admission", "ablation-competitors",
+                    "ablation-sharding"}
+        assert expected <= ids
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("galactic")
+
+    def test_traces_cached(self):
+        assert primary_trace("tiny") is primary_trace("tiny")
+
+
+@pytest.mark.parametrize("experiment_id", [
+    "table1", "fig4", "fig5a", "fig5b", "fig5cd", "fig6ab", "fig6c",
+    "fig6d", "fig7", "fig8ab", "fig8c", "fig9", "ablation-heap",
+    "ablation-rounding", "ablation-admission", "ablation-competitors",
+    "ablation-sharding",
+])
+def test_experiment_runs_at_tiny_scale(experiment_id):
+    tables = run_experiment(experiment_id, scale="tiny")
+    assert tables, "experiment produced no tables"
+    for table in tables:
+        assert isinstance(table, Table)
+        assert table.rows, f"{table.title} has no rows"
+        # rendering must not crash
+        assert table.to_ascii()
+        assert table.to_csv()
+
+
+class TestPaperShapes:
+    """Qualitative claims assertable at tiny scale."""
+
+    def test_table1_exact(self):
+        table = run_experiment("table1", "tiny")[0]
+        rows = {row[0]: (row[1], row[2]) for row in table.rows}
+        assert rows["000001010"] == ("000000000", "000001010")
+
+    def test_fig4_camp_visits_fewer_nodes(self):
+        table = run_experiment("fig4", "tiny")[0]
+        for row in table.rows:
+            _, gds_visits, camp_visits = row[0], row[1], row[2]
+            assert camp_visits < gds_visits
+
+    def test_fig5a_flat_over_precision(self):
+        """Cost-miss ratio varies little with precision (the 5a claim)."""
+        table = run_experiment("fig5a", "tiny")[0]
+        for column_name in table.columns[1:]:
+            values = [v for v in table.column(column_name)]
+            spread = max(values) - min(values)
+            assert spread < 0.2, f"{column_name} spread {spread}"
+
+    def test_fig5b_queues_grow_with_precision(self):
+        table = run_experiment("fig5b", "tiny")[0]
+        first_col = table.columns[1]
+        values = table.column(first_col)
+        assert values[-1] >= values[0]   # ∞ precision has most queues
+
+    def test_fig5c_camp_beats_lru(self):
+        cost_table = run_experiment("fig5cd", "tiny")[0]
+        camp = cost_table.column("camp(p=5)")
+        lru = cost_table.column("lru")
+        assert sum(c < l for c, l in zip(camp, lru)) >= len(camp) - 1
+
+    def test_fig7_camp_miss_rate_below_lru(self):
+        """Size-aware CAMP keeps small items: lower miss rate (Figure 7)."""
+        table = run_experiment("fig7", "tiny")[0]
+        camp = table.column("camp(p=5)")
+        lru = table.column("lru")
+        assert sum(c <= l for c, l in zip(camp, lru)) >= len(camp) - 1
+
+    def test_fig8c_equisize_has_more_queues_at_high_precision(self):
+        table = run_experiment("fig8c", "tiny")[0]
+        last_row = table.rows[-1]   # infinite precision
+        assert last_row[1] >= last_row[2]
+
+    def test_fig9_camp_cost_not_worse(self):
+        cost_table = run_experiment("fig9", "tiny")[0]
+        lru = cost_table.column("lru")
+        camp = cost_table.column("camp(p=5)")
+        assert sum(c <= l for c, l in zip(camp, lru)) >= len(camp) - 1
+
+    def test_rounding_ablation_regular_collapses_queues(self):
+        table = run_experiment("ablation-rounding", "tiny")[0]
+        msb = {row[1]: row[2] for row in table.rows if row[0] == "camp-msb"}
+        regular = {row[1]: row[2] for row in table.rows
+                   if row[0] == "regular"}
+        # truncating low bits at precision p=8 collapses small ratios far
+        # more than MSB rounding collapses anything
+        assert regular[8] <= msb[8]

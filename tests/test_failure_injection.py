@@ -1,0 +1,148 @@
+"""Failure injection: misbehaving peers, crashing policies, node loss.
+
+A production-quality cache layer must stay consistent when its
+collaborators misbehave; these tests break things on purpose.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cache import KVS
+from repro.cluster import CooperativeCluster
+from repro.core import LruPolicy
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import ProtocolError, ReproError
+from repro.twemcache import SocketClient, TwemcacheEngine, TwemcacheServer
+
+
+class TestMisbehavingServer:
+    """The socket client against endpoints that lie or die."""
+
+    def _one_shot_server(self, payload: bytes):
+        """A TCP server that sends ``payload`` then closes."""
+        listener = socket.create_server(("127.0.0.1", 0))
+
+        def serve():
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            if payload:
+                conn.sendall(payload)
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return listener.getsockname(), listener
+
+    def test_connection_closed_mid_response(self):
+        address, listener = self._one_shot_server(b"VALUE k 0 100\r\nshort")
+        try:
+            client = SocketClient(address)
+            with pytest.raises(ProtocolError):
+                client.get("k")
+        finally:
+            listener.close()
+
+    def test_garbage_reply(self):
+        address, listener = self._one_shot_server(b"BANANAS\r\n")
+        try:
+            client = SocketClient(address)
+            with pytest.raises(ProtocolError):
+                client.get("k")
+        finally:
+            listener.close()
+
+    def test_malformed_value_header(self):
+        address, listener = self._one_shot_server(b"VALUE k 0\r\nEND\r\n")
+        try:
+            client = SocketClient(address)
+            with pytest.raises(ProtocolError):
+                client.get("k")
+        finally:
+            listener.close()
+
+    def test_server_survives_client_disconnect_mid_set(self):
+        engine = TwemcacheEngine(1 << 20, slab_size=1 << 16)
+        with TwemcacheServer(engine) as server:
+            raw = socket.create_connection(server.address)
+            raw.sendall(b"set k 0 0 100\r\npartial")   # missing bytes
+            raw.close()
+            # the server must keep serving others
+            with SocketClient(server.address) as client:
+                assert client.set("ok", b"fine")
+                assert client.get("ok").value == b"fine"
+            engine.check_consistency()
+
+
+class _FaultyPolicy(EvictionPolicy):
+    """LRU that raises on the Nth victim selection."""
+
+    name = "faulty"
+
+    def __init__(self, fail_on_eviction: int) -> None:
+        self._inner = LruPolicy()
+        self._fail_on = fail_on_eviction
+        self._evictions = 0
+
+    def on_hit(self, key):
+        self._inner.on_hit(key)
+
+    def on_insert(self, key, size, cost):
+        self._inner.on_insert(key, size, cost)
+
+    def pop_victim(self, incoming=None):
+        self._evictions += 1
+        if self._evictions == self._fail_on:
+            raise RuntimeError("injected policy crash")
+        return self._inner.pop_victim(incoming)
+
+    def on_remove(self, key):
+        self._inner.on_remove(key)
+
+    def __contains__(self, key):
+        return key in self._inner
+
+    def __len__(self):
+        return len(self._inner)
+
+
+class TestCrashingPolicy:
+    def test_kvs_accounting_survives_policy_crash(self):
+        """A policy exception propagates, but the store's byte accounting
+        and residency map stay consistent (no phantom items)."""
+        kvs = KVS(30, _FaultyPolicy(fail_on_eviction=2))
+        kvs.put("a", 10, 1)
+        kvs.put("b", 10, 1)
+        kvs.put("c", 10, 1)
+        kvs.put("d", 10, 1)   # first eviction: fine
+        with pytest.raises(RuntimeError):
+            kvs.put("e", 10, 1)   # second eviction: injected crash
+        # the failed insert must not have been half-applied
+        assert "e" not in kvs
+        assert kvs.used_bytes == sum(
+            item.size for item in kvs.resident_items())
+        assert kvs.used_bytes <= kvs.capacity
+
+
+class TestClusterNodeLoss:
+    def test_requests_reroute_after_node_removal(self):
+        cluster = CooperativeCluster(["n1", "n2", "n3"],
+                                     capacity_per_node=20_000, replicas=2)
+        keys = [f"k{i}" for i in range(200)]
+        for key in keys:
+            cluster.get(key, 50, 100)
+        # drop a node from the ring; survivors keep serving every key
+        cluster.ring.remove_node("n2")
+        for key in keys:
+            outcome = cluster.get(key, 50, 100)
+            assert outcome in ("local", "remote", "miss")
+        holders = {name for key in keys
+                   for name in cluster.ring.preference_list(key, 2)}
+        assert "n2" not in holders
+
+    def test_empty_ring_raises(self):
+        cluster = CooperativeCluster(["only"], capacity_per_node=1000)
+        cluster.ring.remove_node("only")
+        with pytest.raises(ReproError):
+            cluster.get("k", 10, 1)

@@ -1,0 +1,145 @@
+"""GD-Wheel tests — approximate Greedy Dual over hierarchical cost wheels."""
+
+import random
+
+import pytest
+
+from repro.core import GdWheelPolicy
+from repro.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    EvictionError,
+    MissingKeyError,
+)
+
+
+class TestBasics:
+    def test_low_cost_evicted_before_high_cost(self):
+        wheel = GdWheelPolicy()
+        wheel.on_insert("cheap", 1, 1)
+        wheel.on_insert("dear", 1, 50)
+        assert wheel.pop_victim() == "cheap"
+        assert wheel.pop_victim() == "dear"
+
+    def test_eviction_order_approximates_priority_order(self):
+        wheel = GdWheelPolicy(num_slots=64)
+        rng = random.Random(0)
+        costs = {f"k{i}": rng.randrange(1, 60) for i in range(40)}
+        for key, cost in costs.items():
+            wheel.on_insert(key, 1, cost)
+        order = [wheel.pop_victim() for _ in range(40)]
+        # within wheel-0 granularity (1), order must be exactly by cost then
+        # insertion; check monotone non-decreasing cost sequence
+        evicted_costs = [costs[k] for k in order]
+        assert evicted_costs == sorted(evicted_costs)
+
+    def test_hit_refreshes_priority(self):
+        wheel = GdWheelPolicy()
+        wheel.on_insert("a", 1, 5)
+        wheel.on_insert("b", 1, 5)
+        wheel.on_hit("a")  # moves a to L + 5 again, same as b... then evict
+        victim = wheel.pop_victim()
+        assert victim in {"a", "b"}
+
+    def test_inflation_advances_with_evictions(self):
+        wheel = GdWheelPolicy()
+        for i, cost in enumerate([1, 10, 20, 30]):
+            wheel.on_insert(f"k{i}", 1, cost)
+        wheel.pop_victim()
+        wheel.pop_victim()
+        assert wheel.inflation >= 1
+
+    def test_high_cost_lands_in_upper_wheel_and_migrates(self):
+        wheel = GdWheelPolicy(num_slots=4, levels=3)
+        wheel.on_insert("far", 1, 50)   # beyond wheel 0 span (4)
+        wheel.on_insert("near", 1, 2)
+        assert wheel.pop_victim() == "near"
+        # evicting "far" requires migrating it down
+        assert wheel.pop_victim() == "far"
+        assert wheel.stats()["migrated_items"] >= 1
+
+    def test_overflow_beyond_top_wheel_clamps(self):
+        wheel = GdWheelPolicy(num_slots=2, levels=2)
+        wheel.on_insert("huge", 1, 10 ** 6)
+        wheel.on_insert("small", 1, 1)
+        assert wheel.pop_victim() == "small"
+        assert wheel.pop_victim() == "huge"
+
+    def test_fifo_within_slot(self):
+        wheel = GdWheelPolicy()
+        wheel.on_insert("first", 1, 5)
+        wheel.on_insert("second", 1, 5)
+        assert wheel.pop_victim() == "first"
+
+
+class TestBookkeeping:
+    def test_remove(self):
+        wheel = GdWheelPolicy()
+        wheel.on_insert("a", 1, 5)
+        wheel.on_insert("b", 1, 7)
+        wheel.on_remove("a")
+        assert "a" not in wheel
+        assert wheel.pop_victim() == "b"
+
+    def test_len_and_contains(self):
+        wheel = GdWheelPolicy()
+        assert len(wheel) == 0
+        wheel.on_insert("a", 1, 5)
+        assert len(wheel) == 1
+        assert "a" in wheel
+
+    def test_stats(self):
+        wheel = GdWheelPolicy()
+        wheel.on_insert("a", 1, 5)
+        stats = wheel.stats()
+        assert stats["wheel_counts"] == 1
+        wheel.reset_stats()
+        assert wheel.stats()["migrated_items"] == 0
+
+    def test_errors(self):
+        wheel = GdWheelPolicy()
+        with pytest.raises(EvictionError):
+            wheel.pop_victim()
+        with pytest.raises(MissingKeyError):
+            wheel.on_hit("x")
+        with pytest.raises(MissingKeyError):
+            wheel.on_remove("x")
+        wheel.on_insert("x", 1, 1)
+        with pytest.raises(DuplicateKeyError):
+            wheel.on_insert("x", 1, 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            GdWheelPolicy(num_slots=1)
+        with pytest.raises(ConfigurationError):
+            GdWheelPolicy(levels=0)
+
+
+class TestStress:
+    def test_random_churn_conserves_items(self):
+        wheel = GdWheelPolicy(num_slots=8, levels=3)
+        rng = random.Random(42)
+        resident = set()
+        for step in range(3000):
+            r = rng.random()
+            if r < 0.5 or not resident:
+                key = f"k{step}"
+                wheel.on_insert(key, rng.randrange(1, 100),
+                                rng.choice([1, 100, 10_000]))
+                resident.add(key)
+            elif r < 0.8:
+                key = wheel.pop_victim()
+                assert key in resident
+                resident.discard(key)
+            elif r < 0.9:
+                key = rng.choice(sorted(resident))
+                wheel.on_hit(key)
+            else:
+                key = rng.choice(sorted(resident))
+                wheel.on_remove(key)
+                resident.discard(key)
+            assert len(wheel) == len(resident)
+        # drain completely
+        while resident:
+            resident.discard(wheel.pop_victim())
+        assert len(wheel) == 0

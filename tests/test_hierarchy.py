@@ -1,0 +1,86 @@
+"""Two-level hierarchical cache tests (section 6 extension)."""
+
+import pytest
+
+from repro.cache import KVS, TwoLevelCache
+from repro.core import CampPolicy, LruPolicy
+from repro.errors import ConfigurationError
+
+
+def build(l1_capacity=50, l2_capacity=200, factor=0.1):
+    l1 = KVS(l1_capacity, CampPolicy())
+    l2 = KVS(l2_capacity, CampPolicy())
+    return TwoLevelCache(l1, l2, l2_hit_cost_factor=factor)
+
+
+class TestLookupPaths:
+    def test_total_miss_inserts_into_l1(self):
+        cache = build()
+        outcome = cache.lookup("a", 10, 100)
+        assert outcome.level == 0
+        assert outcome.charged_cost == 100
+        assert cache.resident_level("a") == 1
+
+    def test_l1_hit_is_free(self):
+        cache = build()
+        cache.lookup("a", 10, 100)
+        outcome = cache.lookup("a", 10, 100)
+        assert outcome.level == 1
+        assert outcome.charged_cost == 0.0
+        assert outcome.hit
+
+    def test_eviction_demotes_to_l2(self):
+        cache = build(l1_capacity=25)
+        cache.lookup("a", 10, 100)
+        cache.lookup("b", 10, 100)
+        cache.lookup("c", 10, 100)   # L1 evicts someone -> L2
+        assert cache.demotions >= 1
+        demoted = [k for k in ("a", "b") if cache.resident_level(k) == 2]
+        assert demoted
+
+    def test_l2_hit_promotes_and_discounts(self):
+        cache = build(l1_capacity=25, factor=0.25)
+        cache.lookup("a", 10, 100)
+        cache.lookup("b", 10, 100)
+        cache.lookup("c", 10, 100)   # one of a/b demoted
+        demoted = next(k for k in ("a", "b") if cache.resident_level(k) == 2)
+        outcome = cache.lookup(demoted, 10, 100)
+        assert outcome.level == 2
+        assert outcome.charged_cost == pytest.approx(25.0)
+        assert cache.resident_level(demoted) == 1
+        assert cache.promotions == 1
+
+    def test_promotion_removes_from_l2(self):
+        cache = build(l1_capacity=25)
+        cache.lookup("a", 10, 100)
+        cache.lookup("b", 10, 100)
+        cache.lookup("c", 10, 100)
+        demoted = next(k for k in ("a", "b") if cache.resident_level(k) == 2)
+        cache.lookup(demoted, 10, 100)
+        assert demoted not in cache.l2
+
+
+class TestCostSavings:
+    def test_hierarchy_cheaper_than_flat_small_cache(self):
+        """Serving from SSD at 10% of recompute cost must reduce the total
+        charged cost versus recomputing every L1 miss."""
+        flat_charged = 0.0
+        flat = KVS(100, CampPolicy())
+        cache = build(l1_capacity=100, l2_capacity=1000, factor=0.1)
+        hier_charged = 0.0
+        import random
+        rng = random.Random(0)
+        requests = [(f"k{rng.randrange(50)}", 10, rng.choice([1, 100]))
+                    for _ in range(2000)]
+        for key, size, cost in requests:
+            if not flat.get(key):
+                flat_charged += cost
+                flat.put(key, size, cost)
+            hier_charged += cache.lookup(key, size, cost).charged_cost
+        assert hier_charged < flat_charged
+
+    def test_invalid_factor(self):
+        l1 = KVS(10, LruPolicy())
+        l2 = KVS(10, LruPolicy())
+        with pytest.raises(ConfigurationError):
+            TwoLevelCache(l1, l2, l2_hit_cost_factor=1.5)

@@ -1,0 +1,177 @@
+"""KVS store tests: byte accounting, eviction loop, admission, listeners."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import KVS
+from repro.core import (
+    CampPolicy,
+    LruPolicy,
+    PooledLruPolicy,
+    SecondHitAdmission,
+    make_policy,
+    policy_names,
+    pools_from_cost_values,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_get_miss_then_put_then_hit(self):
+        kvs = KVS(100, LruPolicy())
+        assert not kvs.get("a")
+        assert kvs.put("a", 10, 1)
+        assert kvs.get("a")
+        assert kvs.used_bytes == 10
+        assert len(kvs) == 1
+
+    def test_eviction_frees_space(self):
+        kvs = KVS(25, LruPolicy())
+        kvs.put("a", 10, 1)
+        kvs.put("b", 10, 1)
+        kvs.put("c", 10, 1)   # evicts "a"
+        assert "a" not in kvs
+        assert "b" in kvs and "c" in kvs
+        assert kvs.eviction_count == 1
+        kvs.check_consistency()
+
+    def test_multi_eviction_for_large_item(self):
+        kvs = KVS(30, LruPolicy())
+        for key in ["a", "b", "c"]:
+            kvs.put(key, 10, 1)
+        kvs.put("big", 25, 1)  # must evict several
+        assert "big" in kvs
+        assert kvs.used_bytes <= 30
+        kvs.check_consistency()
+
+    def test_item_larger_than_capacity_rejected(self):
+        kvs = KVS(20, LruPolicy())
+        assert not kvs.put("huge", 21, 1)
+        assert kvs.rejected_too_large == 1
+        assert len(kvs) == 0
+
+    def test_overwrite_replaces(self):
+        kvs = KVS(100, LruPolicy())
+        kvs.put("a", 10, 1)
+        kvs.put("a", 20, 2)
+        assert kvs.used_bytes == 20
+        assert len(kvs) == 1
+        kvs.check_consistency()
+
+    def test_delete(self):
+        kvs = KVS(100, LruPolicy())
+        kvs.put("a", 10, 1)
+        assert kvs.delete("a")
+        assert not kvs.delete("a")
+        assert kvs.used_bytes == 0
+        kvs.check_consistency()
+
+    def test_item_overhead_charged(self):
+        kvs = KVS(100, LruPolicy(), item_overhead=5)
+        kvs.put("a", 10, 1)
+        assert kvs.used_bytes == 15
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            KVS(0, LruPolicy())
+        with pytest.raises(ConfigurationError):
+            KVS(10, LruPolicy(), item_overhead=-1)
+
+
+class TestPooledIntegration:
+    def test_pool_eviction_with_global_space_free(self):
+        """Pooled LRU evicts even when the store has free bytes overall."""
+        pools = pools_from_cost_values([1, 100], [0.5, 0.5])
+        kvs = KVS(100, PooledLruPolicy(100, pools))
+        kvs.put("cheap1", 40, 1)
+        kvs.put("cheap2", 30, 1)   # pool(cost=1) capacity 50 -> evict cheap1
+        assert "cheap1" not in kvs
+        assert kvs.free_bytes >= 50
+        kvs.check_consistency()
+
+    def test_item_larger_than_pool_rejected(self):
+        pools = pools_from_cost_values([1, 100], [0.5, 0.5])
+        kvs = KVS(100, PooledLruPolicy(100, pools))
+        assert not kvs.put("fat-cheap", 60, 1)   # pool capacity is 50
+        assert kvs.rejected_too_large == 1
+
+
+class TestAdmission:
+    def test_doorkeeper_blocks_first_insertion(self):
+        kvs = KVS(100, LruPolicy(), admission=SecondHitAdmission(window=10))
+        assert not kvs.put("a", 10, 1)
+        assert kvs.rejected_admission == 1
+        assert kvs.put("a", 10, 1)   # second attempt admitted
+        assert "a" in kvs
+
+    def test_hits_refresh_admission_history(self):
+        admission = SecondHitAdmission(window=10)
+        kvs = KVS(100, LruPolicy(), admission=admission)
+        kvs.put("a", 10, 1)
+        kvs.put("a", 10, 1)
+        assert kvs.get("a")   # records access via on_access
+        assert admission.seen("a")
+
+
+class TestListeners:
+    def test_insert_and_evict_events(self):
+        events = []
+
+        class Recorder:
+            def on_insert(self, item):
+                events.append(("insert", item.key))
+
+            def on_evict(self, item, explicit):
+                events.append(("evict", item.key, explicit))
+
+        kvs = KVS(20, LruPolicy())
+        kvs.add_listener(Recorder())
+        kvs.put("a", 10, 1)
+        kvs.put("b", 10, 1)
+        kvs.put("c", 10, 1)    # evicts a
+        kvs.delete("b")
+        assert ("insert", "a") in events
+        assert ("evict", "a", False) in events
+        assert ("evict", "b", True) in events
+
+
+class TestEveryPolicyThroughKvs:
+    @pytest.mark.parametrize("name", list(policy_names()))
+    def test_random_workload_consistency(self, name):
+        """Every registered policy must survive a churny workload inside the
+        store with byte accounting intact."""
+        capacity = 2000
+        policy = make_policy(name, capacity)
+        kvs = KVS(capacity, policy)
+        rng = random.Random(hash(name) & 0xFFFF)
+        for step in range(800):
+            key = f"k{rng.randrange(60)}"
+            if not kvs.get(key):
+                kvs.put(key, rng.randrange(1, 300),
+                        rng.choice([1, 100, 10_000]))
+            if step % 97 == 0:
+                kvs.delete(key)
+            if step % 100 == 0:
+                kvs.check_consistency()
+        kvs.check_consistency()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 25), st.integers(1, 40),
+                          st.sampled_from([1, 100, 10_000])),
+                min_size=1, max_size=200),
+       st.integers(50, 400))
+def test_camp_kvs_property(requests, capacity):
+    """CAMP inside the KVS: accounting and CAMP invariants always hold."""
+    policy = CampPolicy()
+    kvs = KVS(capacity, policy)
+    for key_id, size, cost in requests:
+        key = f"k{key_id}"
+        if not kvs.get(key):
+            kvs.put(key, size, cost)
+        assert kvs.used_bytes <= capacity
+    kvs.check_consistency()
+    policy.check_invariants()

@@ -1,0 +1,136 @@
+"""Tests for the N-level hierarchy, ASCII charts and new CLI verbs."""
+
+import pytest
+
+from repro.analysis import ascii_chart
+from repro.cache import KVS, MultiLevelCache
+from repro.cli import main
+from repro.core import CampPolicy, LruPolicy
+from repro.errors import ConfigurationError
+
+
+def three_levels(c1=50, c2=200, c3=1000):
+    stores = [KVS(c1, CampPolicy()), KVS(c2, CampPolicy()),
+              KVS(c3, CampPolicy())]
+    return MultiLevelCache(stores, [0.0, 0.1, 0.4])
+
+
+class TestMultiLevelCache:
+    def test_miss_fills_level1(self):
+        cache = three_levels()
+        outcome = cache.lookup("a", 30, 100)
+        assert outcome.level == 0
+        assert outcome.charged_cost == 100.0
+        assert cache.resident_level("a") == 1
+
+    def test_cascade_demotion(self):
+        cache = three_levels(c1=50)
+        for key in ("a", "b", "c", "d"):
+            cache.lookup(key, 30, 100)
+        # level 1 holds one 30-byte pair; earlier pairs cascaded to level 2
+        assert cache.demotions >= 3
+        levels = {key: cache.resident_level(key) for key in "abcd"}
+        assert levels["d"] == 1
+        assert all(level in (1, 2, 3) for level in levels.values())
+
+    def test_hit_at_depth_promotes_and_discounts(self):
+        cache = three_levels(c1=50)
+        for key in ("a", "b", "c"):
+            cache.lookup(key, 30, 100)
+        demoted = next(k for k in "ab" if cache.resident_level(k) == 2)
+        outcome = cache.lookup(demoted, 30, 100)
+        assert outcome.level == 2
+        assert outcome.charged_cost == pytest.approx(10.0)
+        assert cache.resident_level(demoted) == 1
+        assert cache.promotions == 1
+
+    def test_deep_demotion_reaches_level3(self):
+        cache = three_levels(c1=40, c2=40, c3=1000)
+        for i in range(8):
+            cache.lookup(f"k{i}", 30, 100)
+        levels = [cache.resident_level(f"k{i}") for i in range(8)]
+        assert 3 in levels
+
+    def test_store_accessor_and_levels(self):
+        cache = three_levels()
+        assert cache.levels == 3
+        assert cache.store(1).capacity == 50
+        with pytest.raises(ConfigurationError):
+            cache.store(4)
+
+    def test_invalid_construction(self):
+        store = KVS(10, LruPolicy())
+        with pytest.raises(ConfigurationError):
+            MultiLevelCache([store], [0.0])
+        with pytest.raises(ConfigurationError):
+            MultiLevelCache([store, KVS(10, LruPolicy())], [0.0])
+        with pytest.raises(ConfigurationError):
+            MultiLevelCache([store, KVS(10, LruPolicy())], [0.5, 0.1])
+        with pytest.raises(ConfigurationError):
+            MultiLevelCache([store, KVS(10, LruPolicy())], [0.0, 1.5])
+
+
+class TestAsciiChart:
+    def test_contains_series_glyphs_and_labels(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+                            title="demo", x_label="x", y_label="y")
+        assert "demo" in chart
+        assert "* a" in chart and "o b" in chart
+        assert "x: x" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "5" in chart
+
+    def test_single_point(self):
+        assert ascii_chart({"dot": [(3, 7)]})
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": []})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [(0, 0)]}, width=5)
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1)]}, width=40, height=8)
+        grid_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(grid_lines) == 8
+        assert all(len(line.split("|", 1)[1]) == 40 for line in grid_lines)
+
+
+class TestNewCliVerbs:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        assert main(["gen-trace", "three-cost", path,
+                     "--keys", "80", "--requests", "800"]) == 0
+        return path
+
+    def test_compare(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["compare", trace_path, "--policies", "camp", "lru",
+                     "--ratios", "0.2", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "cost_miss_ratio" in out and "miss_rate" in out
+        assert "camp" in out and "lru" in out
+
+    def test_compare_with_chart(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["compare", trace_path, "--policies", "camp", "lru",
+                     "--ratios", "0.2", "0.5", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "[chart]" in out
+
+    def test_analyze(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["analyze", trace_path, "--working-set"]) == 0
+        out = capsys.readouterr().out
+        assert "top-20% key share" in out
+        assert "working set growth" in out
+
+    def test_run_with_chart(self, capsys):
+        assert main(["run", "fig7", "--scale", "tiny", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "[chart]" in out

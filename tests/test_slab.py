@@ -1,0 +1,180 @@
+"""Slab allocator tests: geometry, allocation path, calcification."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.twemcache import SlabAllocator
+
+
+class TestClassGeometry:
+    def test_class1_matches_paper(self):
+        """Class 1: 120-byte chunks, 8737 per 1 MiB slab (paper section 5)."""
+        allocator = SlabAllocator(4 << 20)
+        info = allocator.class_info(1)
+        assert info.chunk_size == 120
+        assert info.chunks_per_slab == 8737
+
+    def test_class2_matches_paper(self):
+        """Class 2: 152-byte chunks, 6898 per slab (paper's worked example)."""
+        allocator = SlabAllocator(4 << 20)
+        info = allocator.class_info(2)
+        assert info.chunk_size == 152
+        assert info.chunks_per_slab == 6898
+
+    def test_growth_factor_about_1_25(self):
+        allocator = SlabAllocator(4 << 20)
+        classes = allocator.classes
+        for smaller, larger in zip(classes, classes[1:-1]):
+            ratio = larger.chunk_size / smaller.chunk_size
+            assert 1.0 < ratio < 1.4
+
+    def test_largest_class_is_whole_slab(self):
+        allocator = SlabAllocator(4 << 20)
+        last = allocator.classes[-1]
+        assert last.chunk_size == allocator.slab_size - 32  # minus header
+        assert last.chunks_per_slab == 1
+
+    def test_class_for_picks_smallest_fit(self):
+        allocator = SlabAllocator(4 << 20)
+        assert allocator.class_for(1) == 1
+        assert allocator.class_for(120) == 1
+        assert allocator.class_for(121) == 2
+        assert allocator.class_for(allocator.classes[-1].chunk_size) == \
+            allocator.classes[-1].class_id
+
+    def test_oversized_request_unservable(self):
+        allocator = SlabAllocator(4 << 20)
+        assert allocator.class_for(allocator.classes[-1].chunk_size + 1) is None
+
+    def test_chunk_sizes_aligned(self):
+        allocator = SlabAllocator(4 << 20)
+        for info in allocator.classes[:-1]:
+            assert info.chunk_size % 8 == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(100, slab_size=1 << 20)   # memory < one slab
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(4 << 20, growth_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(4 << 20, min_chunk=0)
+
+
+class TestAllocation:
+    def test_allocate_and_free_round_trip(self):
+        allocator = SlabAllocator(2 << 20, slab_size=1 << 20)
+        chunk = allocator.try_allocate(1, "k1")
+        assert chunk is not None
+        assert chunk.slab.chunks[chunk.index] == "k1"
+        allocator.free(chunk)
+        assert chunk.slab.chunks[chunk.index] is None
+        allocator.check_invariants()
+
+    def test_free_chunk_reused_before_new_slab(self):
+        allocator = SlabAllocator(2 << 20, slab_size=1 << 20)
+        chunk = allocator.try_allocate(1, "k1")
+        allocator.free(chunk)
+        again = allocator.try_allocate(1, "k2")
+        assert again.slab is chunk.slab
+        assert allocator.allocated_slabs == 1
+
+    def test_new_slab_on_demand(self):
+        allocator = SlabAllocator(4 << 20, slab_size=1 << 20)
+        allocator.try_allocate(1, "a")
+        assert allocator.allocated_slabs == 1
+        # a different class needs its own slab
+        big_class = allocator.class_for(100_000)
+        allocator.try_allocate(big_class, "b")
+        assert allocator.allocated_slabs == 2
+
+    def test_memory_exhaustion_returns_none(self):
+        allocator = SlabAllocator(1 << 20, slab_size=1 << 20)
+        last_class = allocator.classes[-1].class_id
+        assert allocator.try_allocate(last_class, "a") is not None
+        assert allocator.try_allocate(last_class, "b") is None
+
+    def test_double_free_raises(self):
+        allocator = SlabAllocator(2 << 20, slab_size=1 << 20)
+        chunk = allocator.try_allocate(1, "k")
+        allocator.free(chunk)
+        with pytest.raises(AllocationError):
+            allocator.free(chunk)
+
+    def test_fill_whole_slab(self):
+        allocator = SlabAllocator(1 << 20, slab_size=1 << 20,
+                                  min_chunk=1 << 18)
+        per_slab = allocator.class_info(1).chunks_per_slab
+        chunks = [allocator.try_allocate(1, f"k{i}") for i in range(per_slab)]
+        assert all(chunk is not None for chunk in chunks)
+        assert allocator.try_allocate(1, "overflow") is None
+        allocator.check_invariants()
+
+
+class TestSlabReassignment:
+    def test_reassign_evicts_occupants(self):
+        allocator = SlabAllocator(1 << 20, slab_size=1 << 20,
+                                  min_chunk=1 << 18)
+        per_slab = allocator.class_info(1).chunks_per_slab
+        for i in range(per_slab):
+            allocator.try_allocate(1, f"k{i}")
+        # class 2 wants memory; steal class 1's slab
+        donor = allocator.donor_slabs(excluding_class=2)[0]
+        evicted = allocator.reassign_slab(donor, 2)
+        assert sorted(evicted) == sorted(f"k{i}" for i in range(per_slab))
+        assert allocator.try_allocate(2, "newbie") is not None
+        allocator.check_invariants()
+
+    def test_stale_free_refs_not_reused(self):
+        allocator = SlabAllocator(1 << 20, slab_size=1 << 20,
+                                  min_chunk=1 << 18)
+        chunk = allocator.try_allocate(1, "k0")
+        allocator.free(chunk)   # free ref for class 1 now exists
+        donor = allocator.donor_slabs(excluding_class=2)[0]
+        allocator.reassign_slab(donor, 2)
+        # class 1 has no slabs left; its stale ref must not resurrect
+        assert allocator.try_allocate(1, "k1") is None
+        allocator.check_invariants()
+
+    def test_donor_slabs_excludes_own_class(self):
+        allocator = SlabAllocator(4 << 20, slab_size=1 << 20)
+        allocator.try_allocate(1, "a")
+        allocator.try_allocate(2, "b")
+        donors = allocator.donor_slabs(excluding_class=1)
+        assert all(slab.class_id != 1 for slab in donors)
+
+    def test_reassign_foreign_slab_raises(self):
+        a = SlabAllocator(1 << 20, slab_size=1 << 20, min_chunk=1 << 18)
+        b = SlabAllocator(1 << 20, slab_size=1 << 20, min_chunk=1 << 18)
+        a.try_allocate(1, "x")
+        slab = a.slabs_of_class(1)[0]
+        a.reassign_slab(slab, 2)
+        with pytest.raises(AllocationError):
+            a.reassign_slab(slab, 3)   # already moved
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["alloc", "free"]),
+                          st.integers(1, 4000)),
+                min_size=1, max_size=150))
+def test_allocator_invariants_under_churn(ops):
+    """Random alloc/free churn never corrupts occupancy bookkeeping."""
+    allocator = SlabAllocator(2 << 20, slab_size=1 << 18)
+    live = []
+    counter = 0
+    for op, size in ops:
+        if op == "alloc":
+            class_id = allocator.class_for(size)
+            if class_id is None:
+                continue
+            counter += 1
+            chunk = allocator.try_allocate(class_id, f"k{counter}")
+            if chunk is not None:
+                live.append(chunk)
+        elif live:
+            allocator.free(live.pop())
+    allocator.check_invariants()
+    assert allocator.stats()["used_chunks"] == len(live)

@@ -1,0 +1,254 @@
+"""Workload-generation tests: distributions, BG model, synthetics, phases."""
+
+import collections
+
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.workloads import (
+    BgConfig,
+    BgWorkload,
+    HotspotDistribution,
+    Trace,
+    TraceRecord,
+    UniformDistribution,
+    ZipfDistribution,
+    equal_size_variable_cost_trace,
+    phase_boundaries,
+    phased_trace,
+    read_trace,
+    solve_zipf_theta,
+    three_cost_trace,
+    uniform_trace,
+    variable_size_constant_cost_trace,
+    write_trace,
+)
+
+
+class TestZipf:
+    def test_solver_produces_requested_skew(self):
+        n = 2000
+        theta = solve_zipf_theta(n, key_share=0.2, request_share=0.7)
+        dist = ZipfDistribution(n, theta=theta, seed=1)
+        draws = [dist.sample() for _ in range(40_000)]
+        hot = sum(1 for d in draws if d < 0.2 * n)
+        assert 0.65 < hot / len(draws) < 0.75
+
+    def test_rank_zero_most_popular(self):
+        dist = ZipfDistribution(100, theta=1.0, seed=2)
+        counts = collections.Counter(dist.sample() for _ in range(20_000))
+        assert counts[0] > counts[50]
+
+    def test_uniform_when_theta_zero(self):
+        dist = ZipfDistribution(10, theta=0.0, seed=3)
+        counts = collections.Counter(dist.sample() for _ in range(20_000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(0)
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(10, theta=-1)
+        with pytest.raises(ConfigurationError):
+            solve_zipf_theta(10, key_share=0.0)
+
+
+class TestHotspot:
+    def test_exact_hot_share(self):
+        dist = HotspotDistribution(1000, key_share=0.2, request_share=0.7,
+                                   seed=4)
+        draws = [dist.sample() for _ in range(50_000)]
+        hot = sum(1 for d in draws if d < dist.hot_count)
+        assert 0.68 < hot / len(draws) < 0.72
+
+    def test_all_ranks_in_range(self):
+        dist = HotspotDistribution(50, seed=5)
+        assert all(0 <= dist.sample() < 50 for _ in range(1000))
+
+
+class TestUniformDistribution:
+    def test_range(self):
+        dist = UniformDistribution(10, seed=0)
+        assert all(0 <= dist.sample() < 10 for _ in range(100))
+
+
+class TestTraceRecordIO:
+    def test_round_trip_line(self):
+        record = TraceRecord("VP:1", 1024, 100)
+        assert TraceRecord.from_line(record.to_line()) == record
+
+    def test_float_cost(self):
+        record = TraceRecord.from_line("k,10,2.5")
+        assert record.cost == 2.5
+
+    def test_bad_lines(self):
+        for line in ["", "a,b", "a,xx,1", "a,10,yy", ",10,1", "a,0,1",
+                     "a,10,-1"]:
+            with pytest.raises(TraceFormatError):
+                TraceRecord.from_line(line)
+
+    def test_file_round_trip(self, tmp_path):
+        trace = three_cost_trace(n_keys=20, n_requests=100, seed=1)
+        path = tmp_path / "t.csv"
+        assert write_trace(trace, path) == 100
+        back = read_trace(path)
+        assert list(back) == list(trace)
+
+    def test_gzip_round_trip(self, tmp_path):
+        trace = three_cost_trace(n_keys=20, n_requests=100, seed=1)
+        path = tmp_path / "t.csv.gz"
+        write_trace(trace, path)
+        back = read_trace(path)
+        assert list(back) == list(trace)
+
+
+class TestTraceAggregates:
+    def test_unique_bytes(self):
+        trace = Trace([TraceRecord("a", 10, 1), TraceRecord("b", 20, 1),
+                       TraceRecord("a", 10, 1)])
+        assert trace.unique_keys == 2
+        assert trace.unique_bytes == 30
+
+    def test_capacity_for_ratio(self):
+        trace = Trace([TraceRecord("a", 100, 1)])
+        assert trace.capacity_for_ratio(0.5) == 50
+        assert trace.capacity_for_ratio(0.0001) == 1   # floor of 1
+
+    def test_cost_histogram(self):
+        trace = Trace([TraceRecord("a", 1, 1), TraceRecord("b", 1, 100),
+                       TraceRecord("a", 1, 1)])
+        assert trace.cost_histogram() == {1: 2, 100: 1}
+
+    def test_concat(self):
+        t1 = Trace([TraceRecord("a", 1, 1)])
+        t2 = Trace([TraceRecord("b", 1, 1)])
+        assert len(t1.concat(t2)) == 2
+
+
+class TestBgWorkload:
+    def test_sizes_and_costs_stable_per_key(self):
+        workload = BgWorkload(BgConfig(members=50, requests=2000, seed=9))
+        trace = workload.generate()
+        seen = {}
+        for record in trace:
+            if record.key in seen:
+                assert seen[record.key] == (record.size, record.cost)
+            else:
+                seen[record.key] = (record.size, record.cost)
+
+    def test_synthetic_costs_from_paper_set(self):
+        workload = BgWorkload(BgConfig(members=50, requests=500, seed=9))
+        trace = workload.generate()
+        assert {record.cost for record in trace} <= {1, 100, 10_000}
+
+    def test_synthetic_costs_roughly_equiprobable(self):
+        workload = BgWorkload(BgConfig(members=3000, requests=30_000, seed=10))
+        trace = workload.generate()
+        key_costs = {}
+        for record in trace:
+            key_costs[record.key] = record.cost
+        counts = collections.Counter(key_costs.values())
+        total = sum(counts.values())
+        for cost in (1, 100, 10_000):
+            assert 0.28 < counts[cost] / total < 0.39
+
+    def test_rdbms_cost_model(self):
+        workload = BgWorkload(BgConfig(members=50, requests=500,
+                                       cost_model="rdbms", seed=11))
+        trace = workload.generate()
+        assert all(record.cost > 0 for record in trace)
+        assert any(isinstance(record.cost, float) for record in trace)
+
+    def test_skew_roughly_70_20(self):
+        workload = BgWorkload(BgConfig(members=2000, requests=40_000, seed=12))
+        trace = workload.generate()
+        counts = collections.Counter(record.key for record in trace)
+        ordered = [count for _, count in counts.most_common()]
+        top20 = sum(ordered[:max(1, len(ordered) // 5)])
+        assert top20 / len(trace) > 0.55   # skew survives the key mapping
+
+    def test_key_prefix(self):
+        workload = BgWorkload(BgConfig(members=10, requests=50,
+                                       key_prefix="tf3:", seed=13))
+        trace = workload.generate()
+        assert all(record.key.startswith("tf3:") for record in trace)
+
+    def test_deterministic_with_seed(self):
+        a = BgWorkload(BgConfig(members=20, requests=200, seed=5)).generate()
+        b = BgWorkload(BgConfig(members=20, requests=200, seed=5)).generate()
+        assert list(a) == list(b)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            BgConfig(members=0)
+        with pytest.raises(ConfigurationError):
+            BgConfig(cost_model="quantum")
+        with pytest.raises(ConfigurationError):
+            BgConfig(actions=())
+
+
+class TestSynthetics:
+    def test_three_cost_values(self):
+        trace = three_cost_trace(n_keys=100, n_requests=1000, seed=2)
+        assert {r.cost for r in trace} <= {1, 100, 10_000}
+
+    def test_variable_size_constant_cost(self):
+        trace = variable_size_constant_cost_trace(n_keys=200,
+                                                  n_requests=2000, seed=3)
+        assert {r.cost for r in trace} == {1}
+        sizes = {r.size for r in trace}
+        assert max(sizes) / min(sizes) > 10  # spans orders of magnitude
+
+    def test_equal_size_variable_cost(self):
+        trace = equal_size_variable_cost_trace(n_keys=200, n_requests=2000,
+                                               seed=4)
+        assert {r.size for r in trace} == {1024}
+        costs = {r.cost for r in trace}
+        assert len(costs) > 50   # "many more distinct cost values"
+
+    def test_uniform(self):
+        trace = uniform_trace(n_keys=10, n_requests=100, seed=5)
+        assert len(trace) == 100
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            three_cost_trace(n_keys=0)
+        with pytest.raises(ConfigurationError):
+            variable_size_constant_cost_trace(size_range=(10, 5))
+        with pytest.raises(ConfigurationError):
+            equal_size_variable_cost_trace(cost_range=(0, 5))
+
+
+class TestPhases:
+    def test_disjoint_namespaces(self):
+        trace = phased_trace(phases=3, requests_per_phase=100, n_keys=20,
+                             seed=1)
+        namespaces = {record.key.split(":")[0] for record in trace}
+        assert namespaces == {"tf1", "tf2", "tf3"}
+
+    def test_keys_never_recur_across_phases(self):
+        trace = phased_trace(phases=3, requests_per_phase=100, n_keys=20,
+                             seed=1)
+        last_seen = {}
+        for index, record in enumerate(trace):
+            namespace = record.key.split(":")[0]
+            last_seen.setdefault(namespace, []).append(index)
+        # every namespace occupies one contiguous block
+        for indices in last_seen.values():
+            assert indices == list(range(indices[0], indices[-1] + 1))
+
+    def test_phase_boundaries(self):
+        trace = phased_trace(phases=4, requests_per_phase=50, n_keys=10,
+                             seed=2)
+        assert phase_boundaries(trace) == [0, 50, 100, 150]
+
+    def test_custom_phase_factory(self):
+        trace = phased_trace(
+            phases=2, requests_per_phase=10,
+            phase_factory=lambda i, prefix: uniform_trace(
+                n_keys=5, n_requests=10, key_prefix=prefix, seed=i))
+        assert len(trace) == 20
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            phased_trace(phases=0)
