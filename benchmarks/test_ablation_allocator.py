@@ -9,7 +9,6 @@ shift (the calcification scenario).
 
 import random
 
-import pytest
 from conftest import run_once
 
 from repro.analysis import Table

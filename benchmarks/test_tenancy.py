@@ -1,0 +1,31 @@
+"""Multi-tenant arbitration benchmark — the "tenancy" experiment.
+
+Regenerates the static-vs-shared-vs-arbitrated comparison and asserts the
+PR's headline claim: on the two-tenant mixed workload (expensive skewed
+tenant + scan-heavy cheap tenant) the ghost-driven arbiter's total miss
+cost is at most the static 50/50 split's and at most the single shared
+CAMP pool's, while the high-miss-cost tenant ends up holding most of the
+budget.
+"""
+
+from conftest import run_once
+
+from repro.experiments.tenancy import run as run_tenancy
+
+
+def test_tenancy_arbitration(benchmark, scale, save_tables):
+    tables = run_once(benchmark, lambda: run_tenancy(scale))
+    save_tables("tenancy_arbitration", tables)
+    comparison = tables[0]
+    costs = dict(zip(comparison.column("scheme"),
+                     comparison.column("total_miss_cost")))
+    assert costs["arbitrated"] <= costs["static-50/50"], costs
+    assert costs["arbitrated"] <= costs["shared-camp"], costs
+    shares = dict(zip(comparison.column("scheme"),
+                      comparison.column("ads_share")))
+    # the expensive tenant ends up with most of the budget, within bounds
+    assert 0.5 < shares["arbitrated"] <= 0.9 + 1e-9
+    # the allocation timeline shows bytes actually moving
+    timeline = tables[2]
+    ads_series = timeline.column("ads")
+    assert ads_series[-1] > ads_series[0]

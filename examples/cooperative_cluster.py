@@ -11,7 +11,6 @@ both halves: last replicas survive churn, dead pairs still drain.
 Run:  python examples/cooperative_cluster.py
 """
 
-import random
 
 from repro.cluster import CooperativeCluster
 from repro.workloads import three_cost_trace

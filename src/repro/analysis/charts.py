@@ -8,7 +8,7 @@ the crossovers the paper's figures show without leaving the terminal.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 

@@ -8,7 +8,7 @@ against the published curves.
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 __all__ = ["Table", "format_number"]
 

@@ -17,10 +17,9 @@ cheaper than recomputing, but not free), which the hierarchical metrics in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 from repro.cache.kvs import KVS
-from repro.core.policy import EvictionPolicy
 from repro.errors import ConfigurationError
 
 __all__ = ["TwoLevelCache", "MultiLevelCache", "LookupOutcome"]

@@ -14,7 +14,7 @@ occupancy tracker behind Figures 6c/6d subscribes to insert/evict events).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Protocol, Union
+from typing import Dict, Iterable, List, Optional, Protocol, Union
 
 from repro.core.admission import AdmissionController
 from repro.core.policy import CacheItem, EvictionPolicy
@@ -120,6 +120,33 @@ class KVS:
         self._used += charged
         self._notify_insert(item)
         return True
+
+    def resize(self, new_capacity: int) -> List[CacheItem]:
+        """Change the byte budget at runtime; returns the items evicted.
+
+        Growing simply raises the ceiling.  Shrinking evicts through the
+        policy until the resident set fits the new budget, notifying
+        listeners exactly like demand evictions (``explicit=False``) —
+        this is the primitive the tenancy arbiter uses to move bytes
+        between partitions.
+        """
+        if new_capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {new_capacity}")
+        self._capacity = new_capacity
+        evicted: List[CacheItem] = []
+        while self._used > self._capacity:
+            if not len(self._policy):
+                raise EvictionError(
+                    "resize cannot reclaim space: policy is empty but "
+                    "bytes are still accounted")
+            victim_key = self._policy.pop_victim()
+            victim = self._items.pop(victim_key)
+            self._used -= victim.size
+            self._evictions += 1
+            evicted.append(victim)
+            self._notify_evict(victim, explicit=False)
+        return evicted
 
     def delete(self, key: str) -> bool:
         """Explicitly remove a key; True when it was resident."""

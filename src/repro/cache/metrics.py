@@ -14,7 +14,7 @@ bytes by key namespace (``"tf1:..."`` → ``"tf1"``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, List, Set, Tuple, Union
 
 from repro.core.policy import CacheItem
 from repro.errors import ConfigurationError
@@ -80,6 +80,18 @@ class SimulationMetrics:
         """Σ bytes missed / Σ bytes of counted requests (bonus metric)."""
         return self.bytes_missed / self.bytes_total if self.bytes_total else 0.0
 
+    @property
+    def cost_miss_rate(self) -> float:
+        """Σ cost of missed requests / counted requests.
+
+        A *rate* rather than a ratio: the average recomputation spend per
+        (non-cold) request, so namespaces with very different request
+        volumes and cost scales can be compared on absolute spend per
+        request — the quantity the tenancy arbiter trades off.
+        """
+        counted = self.counted_requests
+        return self.cost_missed / counted if counted else 0.0
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "requests": self.requests,
@@ -89,6 +101,7 @@ class SimulationMetrics:
             "miss_rate": self.miss_rate,
             "cost_miss_ratio": self.cost_miss_ratio,
             "byte_miss_ratio": self.byte_miss_ratio,
+            "cost_miss_rate": self.cost_miss_rate,
         }
 
 
@@ -221,6 +234,7 @@ class PerNamespaceMetrics:
                  ) -> None:
         self._namespace_of = namespace_of
         self._per_namespace: Dict[str, SimulationMetrics] = {}
+        self._resident_bytes: Dict[str, int] = {}
 
     def record(self, key: str, size: int, cost: Number, hit: bool) -> None:
         namespace = self._namespace_of(key)
@@ -229,6 +243,27 @@ class PerNamespaceMetrics:
             metrics = SimulationMetrics()
             self._per_namespace[namespace] = metrics
         metrics.record(key, size, cost, hit)
+
+    # CacheListener interface -------------------------------------------------
+    # Subscribe the recorder to a KVS (``kvs.add_listener(metrics)``) and it
+    # also tracks bytes resident per namespace, surfaced by
+    # :meth:`resident_bytes` and the extended summary rows.
+    def on_insert(self, item: CacheItem) -> None:
+        namespace = self._namespace_of(item.key)
+        self._resident_bytes[namespace] = \
+            self._resident_bytes.get(namespace, 0) + item.size
+
+    def on_evict(self, item: CacheItem, explicit: bool) -> None:
+        namespace = self._namespace_of(item.key)
+        remaining = self._resident_bytes.get(namespace, 0) - item.size
+        if remaining <= 0:
+            self._resident_bytes.pop(namespace, None)
+        else:
+            self._resident_bytes[namespace] = remaining
+
+    def resident_bytes(self, namespace: str) -> int:
+        """Bytes currently resident for ``namespace`` (0 when untracked)."""
+        return self._resident_bytes.get(namespace, 0)
 
     def namespaces(self) -> List[str]:
         return sorted(self._per_namespace)
@@ -241,11 +276,20 @@ class PerNamespaceMetrics:
                 f"no requests recorded for namespace {namespace!r}"
             ) from None
 
-    def summary_rows(self) -> List[Tuple[str, int, float, float, float]]:
-        """(namespace, requests, miss rate, cost-miss ratio, cost missed)."""
-        rows = []
+    def summary_rows(self, extended: bool = False) -> List[Tuple]:
+        """(namespace, requests, miss rate, cost-miss ratio, cost missed).
+
+        With ``extended=True`` each row gains two trailing columns —
+        ``cost_miss_rate`` and ``resident_bytes`` — used by the tenancy
+        reports; the default shape is unchanged for existing callers.
+        """
+        rows: List[Tuple] = []
         for namespace in self.namespaces():
             metrics = self._per_namespace[namespace]
-            rows.append((namespace, metrics.requests, metrics.miss_rate,
-                         metrics.cost_miss_ratio, metrics.cost_missed))
+            row = (namespace, metrics.requests, metrics.miss_rate,
+                   metrics.cost_miss_ratio, metrics.cost_missed)
+            if extended:
+                row = row + (metrics.cost_miss_rate,
+                             self.resident_bytes(namespace))
+            rows.append(row)
         return rows

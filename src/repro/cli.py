@@ -43,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"repro-camp {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_cmd = sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list available experiments")
 
     run_cmd = sub.add_parser("run", help="run experiments")
     run_cmd.add_argument("experiments", nargs="+",
@@ -84,6 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("trace", help="trace file path")
     analyze_cmd.add_argument("--working-set", action="store_true",
                              help="also print the working-set growth curve")
+
+    tenancy_cmd = sub.add_parser(
+        "tenancy",
+        help="multi-tenant arbitration: mixed workload, per-tenant tables")
+    tenancy_cmd.add_argument("--scale", default="default",
+                             choices=("tiny", "default", "full"))
+    tenancy_cmd.add_argument("--csv", action="store_true",
+                             help="emit CSV instead of aligned tables")
+    tenancy_cmd.add_argument("--chart", action="store_true",
+                             help="also draw the allocation timeline")
 
     compare_cmd = sub.add_parser(
         "compare", help="run several policies over one trace, side by side")
@@ -214,6 +224,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tenancy(args: argparse.Namespace) -> int:
+    from repro.experiments import tenancy
+    for table in tenancy.run(args.scale):
+        if args.csv:
+            print(f"# {table.title}")
+            print(table.to_csv())
+        else:
+            print(table.to_ascii())
+        if args.chart:
+            _chart_table(table)
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import Table
     from repro.sim import sweep_cache_sizes
@@ -250,6 +273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "tenancy":
+            return _cmd_tenancy(args)
         if args.command == "compare":
             return _cmd_compare(args)
     except ReproError as exc:

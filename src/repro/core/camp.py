@@ -25,7 +25,7 @@ and CAMP makes exactly the same eviction decisions as
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.policy import CacheItem, EvictionPolicy
 from repro.core.rounding import RatioConverter, round_to_precision

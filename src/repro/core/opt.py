@@ -25,7 +25,7 @@ stream the schedule was built from.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Deque, Dict, Iterable, Optional, Union
 
 from repro.core.policy import CacheItem, EvictionPolicy
 from repro.errors import (

@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.analysis import Table
 from repro.core import (
@@ -23,10 +23,8 @@ from repro.core import (
     LruPolicy,
     SecondHitAdmission,
     ShardedCampPolicy,
-    round_to_precision,
     regular_rounding,
 )
-from repro.core.rounding import RatioConverter
 from repro.experiments.data import get_scale, primary_trace
 from repro.sim import run_policy_on_trace, sweep_cache_sizes
 

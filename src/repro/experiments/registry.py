@@ -14,6 +14,7 @@ from repro.analysis import Table
 from repro.errors import ConfigurationError
 from repro.experiments import ablations, fig4, fig5, fig6, fig7, fig8, fig9
 from repro.experiments import table1 as table1_module
+from repro.experiments import tenancy as tenancy_module
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment",
            "list_experiments"]
@@ -89,6 +90,9 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         _spec("ablation-sharding", "section 4.1",
               "Hash-partitioned CAMP shards",
               ablations.run_sharding_ablation),
+        _spec("tenancy", "section 1 ext.",
+              "Multi-tenant arbitration: static vs shared vs arbitrated CAMP",
+              tenancy_module.run),
     ]
 }
 

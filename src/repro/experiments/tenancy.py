@@ -1,0 +1,182 @@
+"""Multi-tenant consolidation: static split vs shared pool vs arbitration.
+
+Two applications share one memory budget, extending the introduction's
+two-application motivation to *tenant isolation*:
+
+* ``ads`` — an expensive tenant (10K per miss, the paper's ML-computed
+  ads), skewed reuse, values of a few KB;
+* ``scan`` — a scan-heavy cheap tenant: per-miss cost two orders of
+  magnitude lower, but *small* values, so its cost-to-size ratio rivals or
+  exceeds the ads items' — exactly the regime where a single cost-aware
+  pool cannot tell the tenants apart and the scanner's one-touch keys
+  evict the ads working set.
+
+Three schemes over the same mixed trace and budget:
+
+1. **shared** — one CAMP pool (the repo's status quo);
+2. **static** — a 50/50 :class:`~repro.tenancy.manager.TenantManager`
+   split with arbitration disabled;
+3. **arbitrated** — the same manager with the ghost-gain arbiter moving
+   bytes every window within per-tenant floors/ceilings.
+
+The claim checked by ``benchmarks/test_tenancy.py``: arbitration's total
+miss cost is at most the better of both non-adaptive schemes, while the
+high-miss-cost tenant ends up holding most of the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis import Table
+from repro.cache import KVS, PerNamespaceMetrics
+from repro.core import CampPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.data import get_scale
+from repro.sim import TenancyResult, simulate_tenants
+from repro.tenancy import Arbiter, TenantManager, TenantSpec
+from repro.workloads import mixed_tenant_trace, scan_trace, three_cost_trace
+from repro.workloads.trace import Trace
+
+__all__ = ["TenancyConfig", "tenancy_config", "tenancy_trace",
+           "tenant_specs", "run_shared", "run_managed", "run"]
+
+#: cache bytes as a fraction of the mixed trace's unique bytes
+CACHE_RATIO = 0.5
+#: arbitration bounds: no tenant below 10% or above 90% of the budget
+FLOOR, CEILING = 0.10, 0.90
+
+
+@dataclass(frozen=True, slots=True)
+class TenancyConfig:
+    """Workload shape of the two-tenant consolidation scenario."""
+
+    ads_keys: int
+    ads_requests: int
+    scan_keys: int
+    scan_requests: int
+    rebalance_every: int
+    ads_cost: int = 10_000
+    ads_sizes: Tuple[int, ...] = (2048, 4096, 8192)
+    scan_size: int = 64
+    scan_cost: int = 320
+    hot_fraction: float = 0.05
+    hot_keys: int = 30
+
+
+_CONFIGS: Dict[str, TenancyConfig] = {
+    "tiny": TenancyConfig(ads_keys=120, ads_requests=4_000,
+                          scan_keys=4_000, scan_requests=8_000,
+                          rebalance_every=500),
+    "default": TenancyConfig(ads_keys=400, ads_requests=20_000,
+                             scan_keys=20_000, scan_requests=40_000,
+                             rebalance_every=2_000),
+    "full": TenancyConfig(ads_keys=2_000, ads_requests=400_000,
+                          scan_keys=100_000, scan_requests=800_000,
+                          rebalance_every=20_000),
+}
+
+
+def tenancy_config(scale: str) -> TenancyConfig:
+    get_scale(scale)  # validate the scale name with the shared error
+    try:
+        return _CONFIGS[scale]
+    except KeyError:  # pragma: no cover - scales and configs stay in sync
+        raise ConfigurationError(f"no tenancy config for scale {scale!r}")
+
+
+def tenancy_trace(scale: str, seed: int = 0) -> Trace:
+    """The mixed two-tenant trace at one scale."""
+    config = tenancy_config(scale)
+    ads = three_cost_trace(n_keys=config.ads_keys,
+                           n_requests=config.ads_requests,
+                           costs=(config.ads_cost,),
+                           size_values=config.ads_sizes,
+                           seed=seed + 1)
+    scan = scan_trace(n_keys=config.scan_keys,
+                      n_requests=config.scan_requests,
+                      size=config.scan_size, cost=config.scan_cost,
+                      hot_fraction=config.hot_fraction,
+                      hot_keys=config.hot_keys, seed=seed + 2)
+    return mixed_tenant_trace({"ads": ads, "scan": scan}, seed=seed + 3,
+                              name=f"tenancy-{scale}")
+
+
+def tenant_specs(share: float = 0.5) -> List[TenantSpec]:
+    """The two tenants, both CAMP, starting from an equal split."""
+    return [
+        TenantSpec("ads", share=share, floor=FLOOR, ceiling=CEILING),
+        TenantSpec("scan", share=1.0 - share, floor=FLOOR, ceiling=CEILING),
+    ]
+
+
+def run_shared(trace: Trace, total_bytes: int
+               ) -> Tuple[float, PerNamespaceMetrics]:
+    """One undifferentiated CAMP pool; returns (total cost, breakdown)."""
+    kvs = KVS(total_bytes, CampPolicy(precision=5))
+    metrics = PerNamespaceMetrics()
+    kvs.add_listener(metrics)
+    for record in trace:
+        hit = kvs.get(record.key)
+        metrics.record(record.key, record.size, record.cost, hit)
+        if not hit:
+            kvs.put(record.key, record.size, record.cost)
+    total = sum(row[4] for row in metrics.summary_rows())
+    return total, metrics
+
+
+def run_managed(trace: Trace, total_bytes: int, rebalance_every,
+                ) -> TenancyResult:
+    """A TenantManager run; ``rebalance_every=None`` = static split."""
+    manager = TenantManager(total_bytes, tenant_specs(),
+                            rebalance_every=rebalance_every,
+                            arbiter=Arbiter(step_fraction=0.05))
+    result = simulate_tenants(manager, trace)
+    manager.check_consistency()
+    return result
+
+
+def run(scale: str = "default") -> List[Table]:
+    """The registry entry point: three tables for the three-way story."""
+    config = tenancy_config(scale)
+    trace = tenancy_trace(scale)
+    total_bytes = max(1, int(trace.unique_bytes * CACHE_RATIO))
+
+    shared_cost, shared_metrics = run_shared(trace, total_bytes)
+    static = run_managed(trace, total_bytes, None)
+    arbitrated = run_managed(trace, total_bytes, config.rebalance_every)
+
+    comparison = Table(
+        "Tenancy — total miss cost by scheme "
+        f"(budget = {total_bytes} bytes, scale {scale})",
+        ["scheme", "total_miss_cost", "ads_cost_miss_ratio",
+         "scan_miss_rate", "ads_share"])
+    shared_ads = shared_metrics.metrics("ads")
+    shared_scan = shared_metrics.metrics("scan")
+    comparison.add_row(
+        "shared-camp", shared_cost, shared_ads.cost_miss_ratio,
+        shared_scan.miss_rate,
+        shared_metrics.resident_bytes("ads") / total_bytes)
+    for scheme, result in (("static-50/50", static),
+                           ("arbitrated", arbitrated)):
+        comparison.add_row(
+            scheme, result.total_cost_missed,
+            result.metrics("ads").cost_miss_ratio,
+            result.metrics("scan").miss_rate,
+            result.allocations["ads"] / total_bytes)
+
+    per_tenant = Table(
+        "Tenancy — arbitrated per-tenant breakdown",
+        ["tenant", "requests", "miss_rate", "cost_miss_ratio",
+         "cost_missed", "cost_miss_rate", "capacity_bytes"])
+    for row in arbitrated.summary_rows():
+        per_tenant.add_row(*row)
+
+    timeline = Table(
+        "Tenancy — arbitrated allocation timeline (bytes per tenant)",
+        ["accesses", "ads", "scan"])
+    for accesses, allocations in arbitrated.allocation_samples:
+        timeline.add_row(accesses, allocations.get("ads", 0),
+                         allocations.get("scan", 0))
+    return [comparison, per_tenant, timeline]

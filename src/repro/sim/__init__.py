@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.sim.compare import AgreementResult, eviction_agreement
+from repro.sim.multitenant import TenancyResult, simulate_tenants
 from repro.sim.runner import (
     PolicyFactory,
     SweepPoint,
@@ -23,4 +24,6 @@ __all__ = [
     "PolicyFactory",
     "sweep_cache_sizes",
     "sweep_parameter",
+    "TenancyResult",
+    "simulate_tenants",
 ]

@@ -1,0 +1,100 @@
+"""Trace-driven simulation over a :class:`TenantManager`.
+
+The single-store simulator (:mod:`repro.sim.simulator`) drives one KVS;
+this sibling drives a multi-tenant manager — same request loop and
+cold-request exclusion, but metrics are kept per tenant by the manager
+itself and the allocation timeline (how the arbiter shifted bytes over
+the run) is sampled alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.metrics import SimulationMetrics
+from repro.errors import ConfigurationError
+from repro.tenancy.arbiter import Transfer
+from repro.tenancy.manager import TenantManager
+from repro.workloads.trace import Trace
+
+__all__ = ["TenancyResult", "simulate_tenants"]
+
+
+@dataclass
+class TenancyResult:
+    """Everything one multi-tenant run produced."""
+
+    manager: TenantManager
+    per_tenant: Dict[str, SimulationMetrics]
+    allocations: Dict[str, int]
+    allocation_samples: List[Tuple[int, Dict[str, int]]]
+    transfers: List[Transfer]
+    wall_seconds: float
+    samples: List[Tuple[int, Dict[str, int]]] = field(default_factory=list)
+
+    @property
+    def total_cost_missed(self) -> float:
+        return sum(m.cost_missed for m in self.per_tenant.values())
+
+    @property
+    def total_requests(self) -> int:
+        return sum(m.requests for m in self.per_tenant.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(m.misses for m in self.per_tenant.values())
+
+    def metrics(self, tenant: str) -> SimulationMetrics:
+        try:
+            return self.per_tenant[tenant]
+        except KeyError:
+            raise ConfigurationError(
+                f"no metrics for tenant {tenant!r}; "
+                f"known: {sorted(self.per_tenant)}") from None
+
+    def summary_rows(self) -> List[Tuple]:
+        """(tenant, requests, miss rate, cost-miss ratio, cost missed,
+        cost-miss rate, capacity bytes) per tenant, sorted by name."""
+        rows = []
+        for name in sorted(self.per_tenant):
+            metrics = self.per_tenant[name]
+            rows.append((name, metrics.requests, metrics.miss_rate,
+                         metrics.cost_miss_ratio, metrics.cost_missed,
+                         metrics.cost_miss_rate,
+                         self.allocations.get(name, 0)))
+        return rows
+
+
+def simulate_tenants(manager: TenantManager,
+                     trace: Trace,
+                     sample_every: Optional[int] = None) -> TenancyResult:
+    """Run one mixed trace through a tenant manager.
+
+    ``sample_every`` additionally records the per-tenant capacity split
+    every N requests (independent of the manager's own samples, which are
+    taken at rebalance boundaries).
+    """
+    if sample_every is not None and sample_every < 1:
+        raise ConfigurationError(
+            f"sample_every must be >= 1, got {sample_every}")
+    samples: List[Tuple[int, Dict[str, int]]] = []
+    started = time.perf_counter()
+    index = 0
+    for record in trace:
+        manager.access(record.key, record.size, record.cost)
+        index += 1
+        if sample_every and index % sample_every == 0:
+            samples.append((index, manager.allocations()))
+    elapsed = time.perf_counter() - started
+    return TenancyResult(
+        manager=manager,
+        per_tenant={tenant.name: tenant.metrics
+                    for tenant in manager.tenants()},
+        allocations=manager.allocations(),
+        allocation_samples=list(manager.allocation_samples),
+        transfers=list(manager.transfers),
+        wall_seconds=elapsed,
+        samples=samples,
+    )

@@ -9,8 +9,8 @@ per-namespace memory occupancy for the Figure 6c/6d time series.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Union
 
 from repro.cache.kvs import KVS
 from repro.cache.metrics import OccupancyTracker, SimulationMetrics

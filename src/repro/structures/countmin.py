@@ -15,7 +15,7 @@ load stats).
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import List
 
 from repro.errors import ConfigurationError
 

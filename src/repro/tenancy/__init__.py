@@ -1,0 +1,28 @@
+"""Multi-tenant memory arbitration over CAMP partitions.
+
+A :class:`TenantManager` splits one byte budget into per-tenant
+:class:`~repro.cache.kvs.KVS` partitions (CAMP by default), routes
+requests by key prefix, and periodically lets an :class:`Arbiter` move
+bytes from the tenant with the least to the tenant with the most marginal
+cost to gain — estimated by bounded per-tenant :class:`GhostCache`\\ s fed
+from partition evictions.  :class:`TenantedEngine` applies the same
+routing to the twemcache server for protocol-level isolation.
+"""
+
+from __future__ import annotations
+
+from repro.tenancy.arbiter import Arbiter, Transfer
+from repro.tenancy.engine import TenantedEngine
+from repro.tenancy.ghost import GhostCache, GhostHit
+from repro.tenancy.manager import Tenant, TenantManager, TenantSpec
+
+__all__ = [
+    "Arbiter",
+    "Transfer",
+    "GhostCache",
+    "GhostHit",
+    "Tenant",
+    "TenantManager",
+    "TenantSpec",
+    "TenantedEngine",
+]

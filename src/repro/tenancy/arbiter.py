@@ -1,0 +1,123 @@
+"""The memory arbiter — ghost-gain-driven byte transfers between tenants.
+
+Every rebalance window the arbiter asks each tenant's ghost cache how much
+recomputation cost one *step* of extra bytes would have saved it (weighted
+by the tenant's SLA weight), then moves that step from the tenant with the
+least to the tenant with the most to gain, Memshare-style: memory flows
+toward marginal utility.  Floors and ceilings are hard bounds — a transfer
+that would push either side past its bound is clamped or skipped, so a
+tenant can never be starved below its floor nor balloon past its ceiling
+no matter how lopsided the gains are.
+
+Shrinking the donor happens *before* growing the receiver, so the summed
+partition capacities never exceed the manager's total budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tenancy.manager import Tenant
+
+__all__ = ["Arbiter", "Transfer"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One executed reallocation (kept in the manager's history)."""
+
+    donor: str
+    receiver: str
+    bytes_moved: int
+    donor_gain: float
+    receiver_gain: float
+
+
+class Arbiter:
+    """Moves one step of bytes per window from min-gain to max-gain."""
+
+    def __init__(self,
+                 step_fraction: float = 0.05,
+                 min_gain: float = 0.0,
+                 gain_ratio: float = 1.5) -> None:
+        """``step_fraction`` of the total budget moves per rebalance.
+
+        Both hysteresis knobs guard against thrashing (every transfer
+        evicts real items on the donor side): the receiver's weighted gain
+        must exceed ``gain_ratio`` times the donor's *and* beat it by at
+        least ``min_gain`` before any bytes move.
+        """
+        if not 0 < step_fraction <= 0.5:
+            raise ConfigurationError(
+                f"step_fraction must be in (0, 0.5], got {step_fraction}")
+        if min_gain < 0:
+            raise ConfigurationError(
+                f"min_gain must be >= 0, got {min_gain}")
+        if gain_ratio < 1:
+            raise ConfigurationError(
+                f"gain_ratio must be >= 1, got {gain_ratio}")
+        self._step_fraction = step_fraction
+        self._min_gain = min_gain
+        self._gain_ratio = gain_ratio
+
+    # ------------------------------------------------------------------
+    def gains(self, tenants: List["Tenant"], step: int) -> Dict[str, float]:
+        """Weighted, distance-scaled gain of one extra step per tenant.
+
+        Pure local gradients (ghost hits within one step) stall when a
+        tenant's entire benefit sits deeper than a single step — the
+        gradient reads zero even though the cost to capture is huge.  So
+        each tenant is credited with its window gain over the whole
+        headroom it could still grow into (``ceiling - capacity``),
+        scaled down by ``step / headroom``: deep gains count, discounted
+        by how many steps away they are.
+        """
+        gains: Dict[str, float] = {}
+        for tenant in tenants:
+            reach = max(step, tenant.ceiling_bytes - tenant.kvs.capacity)
+            raw = tenant.ghost.window_gain(reach)
+            gains[tenant.name] = tenant.weight * raw * (step / reach)
+        return gains
+
+    def rebalance(self, tenants: List["Tenant"],
+                  total_bytes: int) -> Optional[Transfer]:
+        """Pick donor/receiver, resize their partitions, report the move.
+
+        Returns ``None`` when no admissible transfer exists (all gains
+        within ``min_gain`` of each other, or bounds forbid every pairing).
+        Ghost windows are reset afterwards either way, by the manager.
+        """
+        if len(tenants) < 2:
+            return None
+        step = max(1, int(total_bytes * self._step_fraction))
+        gains = self.gains(tenants, step)
+        # receivers: most to gain first; donors: least to gain first
+        order = sorted(tenants, key=lambda t: gains[t.name], reverse=True)
+        for receiver in order:
+            headroom = receiver.ceiling_bytes - receiver.kvs.capacity
+            if headroom <= 0:
+                continue
+            for donor in reversed(order):
+                if donor is receiver:
+                    continue
+                slack = donor.kvs.capacity - donor.floor_bytes
+                if slack <= 0:
+                    continue
+                receiver_gain = gains[receiver.name]
+                donor_gain = gains[donor.name]
+                if receiver_gain - donor_gain <= self._min_gain:
+                    continue
+                if receiver_gain <= self._gain_ratio * donor_gain:
+                    continue
+                moved = min(step, headroom, slack)
+                donor.kvs.resize(donor.kvs.capacity - moved)
+                receiver.kvs.resize(receiver.kvs.capacity + moved)
+                return Transfer(donor=donor.name, receiver=receiver.name,
+                                bytes_moved=moved,
+                                donor_gain=gains[donor.name],
+                                receiver_gain=gains[receiver.name])
+        return None

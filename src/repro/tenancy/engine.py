@@ -1,0 +1,173 @@
+"""``TenantedEngine`` — multi-tenant isolation for the twemcache server.
+
+The protocol server only needs the engine's duck type (``get``/``set``/
+``delete``/...), so this adapter fronts one
+:class:`~repro.twemcache.engine.TwemcacheEngine` *per tenant*, each with
+its own slab arena sized from the tenant's share of the memory budget, and
+routes every command by key prefix (``"ads:model7"`` → tenant ``"ads"``).
+A tenant can exhaust and churn its own arena freely without evicting a
+single byte of any other tenant — the partition *is* the floor.
+
+Keys whose prefix matches no tenant go to an optional ``default`` tenant
+(configure one with an empty-string share entry via ``default_tenant``);
+without one they are refused, which surfaces as a miss/NOT_STORED at the
+protocol level rather than an error, matching memcached's forgiving style.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.cache.metrics import default_namespace
+from repro.errors import ConfigurationError
+from repro.twemcache.engine import StoredItem, TwemcacheEngine
+
+__all__ = ["TenantedEngine"]
+
+Number = Union[int, float]
+
+
+class TenantedEngine:
+    """Per-tenant twemcache engines behind one routing front."""
+
+    def __init__(self,
+                 memory_bytes: int,
+                 tenant_shares: Dict[str, float],
+                 eviction: str = "camp",
+                 default_tenant: Optional[str] = None,
+                 namespace_of: Callable[[str], str] = default_namespace,
+                 slab_size: int = 1 << 20,
+                 **engine_kwargs: object) -> None:
+        """``tenant_shares`` maps tenant name → fraction of
+        ``memory_bytes``; fractions must sum to at most 1.  Remaining
+        keyword arguments are forwarded to every per-tenant engine."""
+        if memory_bytes < 1:
+            raise ConfigurationError(
+                f"memory_bytes must be >= 1, got {memory_bytes}")
+        if not tenant_shares:
+            raise ConfigurationError("at least one tenant is required")
+        if sum(tenant_shares.values()) > 1 + 1e-9:
+            raise ConfigurationError("tenant shares sum to more than 1")
+        if default_tenant is not None and default_tenant not in tenant_shares:
+            raise ConfigurationError(
+                f"default tenant {default_tenant!r} is not in tenant_shares")
+        self._namespace_of = namespace_of
+        self._default_tenant = default_tenant
+        self._engines: Dict[str, TwemcacheEngine] = {}
+        for name, share in tenant_shares.items():
+            if share <= 0:
+                raise ConfigurationError(
+                    f"share of tenant {name!r} must be > 0, got {share}")
+            arena = int(memory_bytes * share)
+            if arena < slab_size:
+                # rounding small tenants up to a slab would silently
+                # oversubscribe the budget; make the misconfiguration loud
+                raise ConfigurationError(
+                    f"tenant {name!r} share of {memory_bytes} bytes is "
+                    f"{arena}, below one slab ({slab_size}); raise the "
+                    f"budget/share or lower slab_size")
+            self._engines[name] = TwemcacheEngine(
+                arena, eviction=eviction, slab_size=slab_size,
+                **engine_kwargs)
+        self._lock = threading.RLock()
+        self.rejected_unroutable = 0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def engine_for(self, key: str) -> Optional[TwemcacheEngine]:
+        """The tenant engine owning ``key``, or None when unroutable."""
+        namespace = self._namespace_of(key)
+        engine = self._engines.get(namespace)
+        if engine is None and self._default_tenant is not None:
+            engine = self._engines[self._default_tenant]
+        if engine is None:
+            with self._lock:
+                self.rejected_unroutable += 1
+        return engine
+
+    def engine(self, tenant: str) -> TwemcacheEngine:
+        try:
+            return self._engines[tenant]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown tenant {tenant!r}; known: {sorted(self._engines)}"
+            ) from None
+
+    def tenant_names(self) -> List[str]:
+        return sorted(self._engines)
+
+    # ------------------------------------------------------------------
+    # the engine duck type used by the protocol server
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[StoredItem]:
+        engine = self.engine_for(key)
+        return engine.get(key) if engine is not None else None
+
+    def set(self, key: str, value: bytes, **kwargs) -> bool:
+        engine = self.engine_for(key)
+        return engine.set(key, value, **kwargs) if engine is not None \
+            else False
+
+    def add(self, key: str, value: bytes, **kwargs) -> bool:
+        engine = self.engine_for(key)
+        return engine.add(key, value, **kwargs) if engine is not None \
+            else False
+
+    def replace(self, key: str, value: bytes, **kwargs) -> bool:
+        engine = self.engine_for(key)
+        return engine.replace(key, value, **kwargs) if engine is not None \
+            else False
+
+    def delete(self, key: str) -> bool:
+        engine = self.engine_for(key)
+        return engine.delete(key) if engine is not None else False
+
+    def incr(self, key: str, delta: int) -> Optional[int]:
+        engine = self.engine_for(key)
+        return engine.incr(key, delta) if engine is not None else None
+
+    def decr(self, key: str, delta: int) -> Optional[int]:
+        engine = self.engine_for(key)
+        return engine.decr(key, delta) if engine is not None else None
+
+    def touch(self, key: str, expire_after: float) -> bool:
+        engine = self.engine_for(key)
+        return engine.touch(key, expire_after) if engine is not None \
+            else False
+
+    def touch_cost(self, key: str, cost: Number) -> bool:
+        engine = self.engine_for(key)
+        return engine.touch_cost(key, cost) if engine is not None else False
+
+    def flush_all(self) -> None:
+        for engine in self._engines.values():
+            engine.flush_all()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        engine = self._engines.get(self._namespace_of(key))
+        if engine is None and self._default_tenant is not None:
+            engine = self._engines[self._default_tenant]
+        return key in engine if engine is not None else False
+
+    def __len__(self) -> int:
+        return sum(len(engine) for engine in self._engines.values())
+
+    def stats(self) -> Dict[str, Number]:
+        """Aggregate counters plus ``<tenant>_<stat>`` breakdowns."""
+        totals: Dict[str, Number] = {}
+        for name in sorted(self._engines):
+            for stat, value in self._engines[name].stats().items():
+                totals[stat] = totals.get(stat, 0) + value
+                totals[f"{name}_{stat}"] = value
+        totals["rejected_unroutable"] = self.rejected_unroutable
+        totals["tenants"] = len(self._engines)
+        return totals
+
+    def check_consistency(self) -> None:
+        for engine in self._engines.values():
+            engine.check_consistency()

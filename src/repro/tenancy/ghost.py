@@ -1,0 +1,202 @@
+"""Ghost caches — bounded metadata shadows behind each tenant partition.
+
+A ghost cache remembers the (key, size, cost) of pairs a partition has
+*evicted*, ordered by eviction recency, holding no values.  When a later
+request misses in the real partition but hits in the ghost, the miss was a
+*capacity miss*: had the tenant owned more bytes, the pair would still be
+resident.  The ghost-hit *depth* — the bytes evicted since that pair left,
+including the pair itself — estimates how many extra bytes would have been
+enough, so bucketing the recomputation cost of ghost hits by depth yields
+the tenant's marginal cost-miss curve: "give this tenant X more bytes and
+it would have saved roughly Y cost over the last window".
+
+The same idea drives ARC's directory (ghost hits steer the adaptation
+parameter) and Memshare's per-application utility arbitration; here the
+curve feeds :class:`repro.tenancy.arbiter.Arbiter`.
+
+Both the byte footprint and entry count of a ghost are capped, so the
+metadata overhead per tenant is configurable and bounded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.policy import CacheItem
+from repro.errors import ConfigurationError
+
+__all__ = ["GhostCache", "GhostHit"]
+
+Number = Union[int, float]
+
+#: default resolution of the marginal-utility curve (buckets per ghost)
+DEFAULT_BUCKETS = 64
+
+
+class GhostHit:
+    """One capacity miss explained by the ghost (diagnostics)."""
+
+    __slots__ = ("key", "depth", "cost")
+
+    def __init__(self, key: str, depth: int, cost: Number) -> None:
+        self.key = key
+        self.depth = depth  # bytes that would have kept the pair resident
+        self.cost = cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GhostHit {self.key!r} depth={self.depth} cost={self.cost}>"
+
+
+class GhostCache:
+    """Bounded eviction-history metadata with a marginal cost-miss curve."""
+
+    def __init__(self,
+                 capacity_bytes: int,
+                 max_entries: int = 8192,
+                 buckets: int = DEFAULT_BUCKETS) -> None:
+        """``capacity_bytes`` bounds the *summed sizes* of remembered pairs
+        (the window of "extra memory" the ghost can reason about);
+        ``max_entries`` bounds the entry count independently."""
+        if capacity_bytes < 1:
+            raise ConfigurationError(
+                f"ghost capacity must be >= 1, got {capacity_bytes}")
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"ghost max_entries must be >= 1, got {max_entries}")
+        if buckets < 1:
+            raise ConfigurationError(f"buckets must be >= 1, got {buckets}")
+        self._capacity = capacity_bytes
+        self._max_entries = max_entries
+        self._bucket_bytes = max(1, capacity_bytes // buckets)
+        self._buckets = buckets
+        # key -> (size, cost, cumulative evicted bytes at insertion),
+        # most recently evicted at the *end*
+        self._entries: "OrderedDict[str, Tuple[int, Number, int]]" = \
+            OrderedDict()
+        self._bytes = 0
+        # monotone total of (clamped) evicted bytes ever recorded; the
+        # per-entry snapshot makes ghost-hit depth an O(1) subtraction
+        self._evicted_total = 0
+        # cost that extra bytes would have saved this window, by depth bucket
+        self._window_gain = [0.0] * buckets
+        # lifetime counters
+        self.ghost_hits = 0
+        self.ghost_hit_cost = 0.0
+        self.recorded_evictions = 0
+
+    # ------------------------------------------------------------------
+    # feeding: evictions in, misses probed
+    # ------------------------------------------------------------------
+    def record_eviction(self, item: CacheItem) -> None:
+        """Remember an evicted pair's metadata (most recent last)."""
+        stale = self._entries.pop(item.key, None)
+        if stale is not None:
+            self._bytes -= stale[0]
+        size = min(item.size, self._capacity)
+        self._evicted_total += size
+        self._entries[item.key] = (size, item.cost, self._evicted_total)
+        self._bytes += size
+        self.recorded_evictions += 1
+        self._shrink()
+
+    def record_miss(self, key: str, size: int, cost: Number
+                    ) -> Optional[GhostHit]:
+        """Probe a real-cache miss; a ghost hit accrues window gain.
+
+        Returns the :class:`GhostHit` (or None for a true cold/far miss).
+        A hit removes the entry — the caller re-inserts the pair into the
+        real cache, so keeping the ghost copy would double count.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        ghost_size, ghost_cost, snapshot = entry
+        # depth: bytes evicted since this pair left, the pair included —
+        # roughly the extra capacity that would have kept it resident
+        depth = self._evicted_total - snapshot + ghost_size
+        del self._entries[key]
+        self._bytes -= ghost_size
+        gain = cost if cost else ghost_cost
+        bucket = min(self._buckets - 1, max(0, depth - 1) // self._bucket_bytes)
+        self._window_gain[bucket] += gain
+        self.ghost_hits += 1
+        self.ghost_hit_cost += gain
+        return GhostHit(key, depth, gain)
+
+    # ------------------------------------------------------------------
+    # bounds
+    # ------------------------------------------------------------------
+    def _shrink(self) -> None:
+        while (self._bytes > self._capacity
+               or len(self._entries) > self._max_entries):
+            _, (size, _, _) = self._entries.popitem(last=False)
+            self._bytes -= size
+
+    # ------------------------------------------------------------------
+    # the marginal curve
+    # ------------------------------------------------------------------
+    def window_gain(self, extra_bytes: int) -> float:
+        """Cost this window's ghost hits say ``extra_bytes`` would save.
+
+        Full buckets within ``extra_bytes`` count whole; the bucket the
+        boundary falls into is linearly interpolated, so arbitration steps
+        smaller than one bucket still see a gain signal.
+        """
+        if extra_bytes <= 0:
+            return 0.0
+        full = min(self._buckets, extra_bytes // self._bucket_bytes)
+        gain = sum(self._window_gain[:full])
+        if full < self._buckets:
+            fraction = (extra_bytes % self._bucket_bytes) / self._bucket_bytes
+            gain += fraction * self._window_gain[full]
+        return gain
+
+    def curve(self) -> List[Tuple[int, float]]:
+        """The cumulative marginal cost-miss curve of the current window:
+        ``[(extra_bytes, saved_cost), ...]`` per bucket boundary."""
+        points = []
+        cumulative = 0.0
+        for index in range(self._buckets):
+            cumulative += self._window_gain[index]
+            points.append(((index + 1) * self._bucket_bytes, cumulative))
+        return points
+
+    def reset_window(self) -> None:
+        """Start a new observation window (the arbiter calls this after
+        every rebalance so gains reflect the *current* allocation)."""
+        self._window_gain = [0.0] * self._buckets
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def bucket_bytes(self) -> int:
+        return self._bucket_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, Number]:
+        return {
+            "ghost_entries": len(self._entries),
+            "ghost_bytes": self._bytes,
+            "ghost_hits": self.ghost_hits,
+            "ghost_hit_cost": self.ghost_hit_cost,
+            "recorded_evictions": self.recorded_evictions,
+        }

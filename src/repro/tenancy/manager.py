@@ -1,0 +1,291 @@
+"""Per-tenant CAMP partitions behind one byte budget.
+
+The paper's introduction motivates CAMP with applications of wildly
+different miss costs sharing one KVS; this module gives each such
+application (*tenant*) its own partition — a private :class:`KVS` with its
+own eviction policy, CAMP by default — behind a single total budget.
+Routing uses the same key-prefix convention as
+:func:`repro.cache.metrics.default_namespace` (``"ads:model7"`` → tenant
+``"ads"``), so existing traces and the occupancy tracker line up.
+
+Each tenant also owns a bounded :class:`~repro.tenancy.ghost.GhostCache`
+fed by its partition's evictions; misses that hit the ghost are capacity
+misses, and their depth-bucketed costs estimate the tenant's marginal
+cost-miss curve.  Every ``rebalance_every`` accesses the
+:class:`~repro.tenancy.arbiter.Arbiter` moves bytes from the tenant with
+the least to the tenant with the most to gain (respecting per-tenant
+floors and ceilings), shrinking via :meth:`KVS.resize` — targeted
+evictions — and growing by raising the receiver's budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.cache.kvs import KVS
+from repro.cache.metrics import SimulationMetrics, default_namespace
+from repro.core import make_policy
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import ConfigurationError
+from repro.tenancy.arbiter import Arbiter, Transfer
+from repro.tenancy.ghost import GhostCache
+
+__all__ = ["TenantSpec", "Tenant", "TenantManager"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static configuration of one tenant.
+
+    ``share`` is the initial fraction of the total budget (``None`` splits
+    the unclaimed remainder equally); ``floor``/``ceiling`` bound the
+    fraction the arbiter may shrink/grow the tenant to; ``weight`` scales
+    the tenant's ghost gains (an SLA knob: weight 2 means a saved unit of
+    its cost counts double in arbitration).
+    """
+
+    name: str
+    share: Optional[float] = None
+    floor: float = 0.05
+    ceiling: float = 1.0
+    weight: float = 1.0
+    policy: str = "camp"
+    policy_kwargs: Dict[str, object] = field(default_factory=dict)
+    ghost_fraction: float = 1.0   # ghost byte cap as a fraction of total
+    ghost_entries: int = 8192
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if ":" in self.name:
+            raise ConfigurationError(
+                f"tenant name {self.name!r} must not contain ':'")
+        if not 0 <= self.floor <= self.ceiling <= 1:
+            raise ConfigurationError(
+                f"need 0 <= floor <= ceiling <= 1 for tenant {self.name!r}")
+        if self.share is not None and not self.floor <= self.share <= self.ceiling:
+            raise ConfigurationError(
+                f"share of tenant {self.name!r} must lie in "
+                f"[floor, ceiling]")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"weight of tenant {self.name!r} must be > 0")
+        if not 0 < self.ghost_fraction <= 1:
+            raise ConfigurationError(
+                f"ghost_fraction of tenant {self.name!r} must be in (0, 1]")
+
+
+class _GhostFeeder:
+    """KVS listener that records capacity evictions into the ghost."""
+
+    def __init__(self, ghost: GhostCache) -> None:
+        self._ghost = ghost
+
+    def on_insert(self, item: CacheItem) -> None:
+        pass
+
+    def on_evict(self, item: CacheItem, explicit: bool) -> None:
+        if not explicit:
+            self._ghost.record_eviction(item)
+
+
+class Tenant:
+    """Runtime state of one tenant: partition, ghost, metrics, bounds."""
+
+    def __init__(self, spec: TenantSpec, capacity: int, total_bytes: int,
+                 item_overhead: int = 0) -> None:
+        self.spec = spec
+        self.floor_bytes = max(1, int(total_bytes * spec.floor))
+        self.ceiling_bytes = max(1, int(total_bytes * spec.ceiling))
+        policy = make_policy(spec.policy, capacity, **spec.policy_kwargs)
+        self.kvs = KVS(capacity, policy, item_overhead=item_overhead)
+        ghost_bytes = max(1, int(total_bytes * spec.ghost_fraction))
+        self.ghost = GhostCache(ghost_bytes, max_entries=spec.ghost_entries)
+        self.kvs.add_listener(_GhostFeeder(self.ghost))
+        self.metrics = SimulationMetrics()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def weight(self) -> float:
+        return self.spec.weight
+
+    @property
+    def policy(self) -> EvictionPolicy:
+        return self.kvs.policy
+
+    def summary(self) -> Dict[str, Number]:
+        out = dict(self.metrics.as_dict())
+        out["capacity"] = self.kvs.capacity
+        out["resident_bytes"] = self.kvs.used_bytes
+        out.update(self.ghost.stats())
+        return out
+
+
+class TenantManager:
+    """Fronts a fixed byte budget split into per-tenant partitions."""
+
+    def __init__(self,
+                 total_bytes: int,
+                 specs: List[TenantSpec],
+                 rebalance_every: Optional[int] = 5_000,
+                 arbiter: Optional[Arbiter] = None,
+                 namespace_of: Callable[[str], str] = default_namespace,
+                 item_overhead: int = 0) -> None:
+        """``rebalance_every`` counts accesses between arbiter runs
+        (``None`` disables arbitration — a static partitioning)."""
+        if total_bytes < 1:
+            raise ConfigurationError(
+                f"total_bytes must be >= 1, got {total_bytes}")
+        if not specs:
+            raise ConfigurationError("at least one tenant is required")
+        if rebalance_every is not None and rebalance_every < 1:
+            raise ConfigurationError(
+                f"rebalance_every must be >= 1 or None, got {rebalance_every}")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate tenant names in {names}")
+        for spec in specs:
+            spec.validate()
+        if sum(spec.floor for spec in specs) > 1 + 1e-9:
+            raise ConfigurationError("tenant floors sum to more than 1")
+        self._total_bytes = total_bytes
+        self._namespace_of = namespace_of
+        self._rebalance_every = rebalance_every
+        self._arbiter = arbiter if arbiter is not None else Arbiter()
+        self._tenants: Dict[str, Tenant] = {}
+        for spec, capacity in zip(specs, self._initial_split(specs)):
+            self._tenants[spec.name] = Tenant(
+                spec, capacity, total_bytes, item_overhead=item_overhead)
+        self._accesses = 0
+        self.transfers: List[Transfer] = []
+        #: sampled (access index, {tenant: capacity}) timeline
+        self.allocation_samples: List[Tuple[int, Dict[str, int]]] = []
+
+    def _initial_split(self, specs: List[TenantSpec]) -> List[int]:
+        """Byte capacities honouring explicit shares, then equal split."""
+        explicit = sum(spec.share for spec in specs if spec.share is not None)
+        if explicit > 1 + 1e-9:
+            raise ConfigurationError("tenant shares sum to more than 1")
+        unclaimed = [spec for spec in specs if spec.share is None]
+        remainder = (1.0 - explicit) / len(unclaimed) if unclaimed else 0.0
+        capacities = []
+        for spec in specs:
+            share = spec.share if spec.share is not None else remainder
+            if not spec.floor - 1e-9 <= share <= spec.ceiling + 1e-9:
+                raise ConfigurationError(
+                    f"initial share {share:.3f} of tenant {spec.name!r} "
+                    f"violates [floor, ceiling]")
+            capacities.append(max(1, int(self._total_bytes * share)))
+        return capacities
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, key: str) -> Tenant:
+        """Tenant owning ``key`` (by namespace prefix)."""
+        namespace = self._namespace_of(key)
+        try:
+            return self._tenants[namespace]
+        except KeyError:
+            raise ConfigurationError(
+                f"key {key!r} routes to unknown tenant {namespace!r}; "
+                f"known: {sorted(self._tenants)}") from None
+
+    # ------------------------------------------------------------------
+    # the request interface (mirrors KVS, plus the one-call combo)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bool:
+        return self.route(key).kvs.get(key)
+
+    def put(self, key: str, size: int, cost: Number) -> bool:
+        return self.route(key).kvs.put(key, size, cost)
+
+    def delete(self, key: str) -> bool:
+        return self.route(key).kvs.delete(key)
+
+    def access(self, key: str, size: int, cost: Number) -> bool:
+        """One simulator step: look up, record metrics, insert on miss,
+        probe the ghost, and run the arbiter on window boundaries."""
+        tenant = self.route(key)
+        hit = tenant.kvs.get(key)
+        tenant.metrics.record(key, size, cost, hit)
+        if not hit:
+            tenant.ghost.record_miss(key, size, cost)
+            tenant.kvs.put(key, size, cost)
+        self._accesses += 1
+        if (self._rebalance_every
+                and self._accesses % self._rebalance_every == 0):
+            self.rebalance()
+        return hit
+
+    # ------------------------------------------------------------------
+    # arbitration
+    # ------------------------------------------------------------------
+    def rebalance(self) -> Optional[Transfer]:
+        """Run one arbiter pass now; records and returns the transfer."""
+        transfer = self._arbiter.rebalance(self.tenants(), self._total_bytes)
+        if transfer is not None:
+            self.transfers.append(transfer)
+        for tenant in self._tenants.values():
+            tenant.ghost.reset_window()
+        self.allocation_samples.append((self._accesses, self.allocations()))
+        return transfer
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    @property
+    def accesses(self) -> int:
+        return self._accesses
+
+    def tenants(self) -> List[Tenant]:
+        return list(self._tenants.values())
+
+    def tenant(self, name: str) -> Tenant:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown tenant {name!r}; known: {sorted(self._tenants)}"
+            ) from None
+
+    def tenant_names(self) -> List[str]:
+        return sorted(self._tenants)
+
+    def allocations(self) -> Dict[str, int]:
+        """Current partition capacities in bytes."""
+        return {name: tenant.kvs.capacity
+                for name, tenant in self._tenants.items()}
+
+    def total_cost_missed(self) -> float:
+        return sum(t.metrics.cost_missed for t in self._tenants.values())
+
+    def total_weighted_cost_missed(self) -> float:
+        return sum(t.weight * t.metrics.cost_missed
+                   for t in self._tenants.values())
+
+    def check_consistency(self) -> None:
+        """Budget, bounds and per-partition invariants (test hook)."""
+        total = sum(t.kvs.capacity for t in self._tenants.values())
+        if total > self._total_bytes:
+            raise ConfigurationError(
+                f"partition capacities {total} exceed budget "
+                f"{self._total_bytes}")
+        for tenant in self._tenants.values():
+            if not (tenant.floor_bytes <= tenant.kvs.capacity
+                    <= tenant.ceiling_bytes):
+                raise ConfigurationError(
+                    f"tenant {tenant.name!r} capacity "
+                    f"{tenant.kvs.capacity} outside "
+                    f"[{tenant.floor_bytes}, {tenant.ceiling_bytes}]")
+            tenant.kvs.check_consistency()

@@ -26,7 +26,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.core.camp import CampPolicy
 from repro.core.lru import LruPolicy

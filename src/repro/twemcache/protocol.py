@@ -26,7 +26,7 @@ Parsing is shared by the threaded server and the socket client.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Union
 
 from repro.errors import ProtocolError
 

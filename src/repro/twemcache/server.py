@@ -9,7 +9,6 @@ three components the paper's Figure 9b breaks out.
 
 from __future__ import annotations
 
-import socket
 import socketserver
 import threading
 from typing import Optional, Tuple

@@ -18,8 +18,8 @@ the caller (the engine) maps them to stored items.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import AllocationError, ConfigurationError
 

@@ -29,6 +29,7 @@ from repro.workloads.synthetic import (
     uniform_trace,
     variable_size_constant_cost_trace,
 )
+from repro.workloads.tenancy import mixed_tenant_trace, prefix_trace, scan_trace
 from repro.workloads.trace import Trace, TraceRecord, read_trace, write_trace
 
 __all__ = [
@@ -57,4 +58,7 @@ __all__ = [
     "phased_trace",
     "phase_namespace",
     "phase_boundaries",
+    "scan_trace",
+    "prefix_trace",
+    "mixed_tenant_trace",
 ]

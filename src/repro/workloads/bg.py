@@ -27,8 +27,8 @@ assigned to a key-value pair, it remains in effect for the entire trace").
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.workloads.distributions import ZipfDistribution

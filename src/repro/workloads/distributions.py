@@ -18,9 +18,8 @@ decoupled from key naming.
 from __future__ import annotations
 
 import bisect
-import math
 import random
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
 

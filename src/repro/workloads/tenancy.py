@@ -1,0 +1,116 @@
+"""Mixed multi-tenant traces: per-tenant generators interleaved.
+
+The tenancy experiments consolidate applications with different miss
+costs onto one budget, so their traces are built tenant-by-tenant —
+any existing generator (:func:`~repro.workloads.synthetic.three_cost_trace`,
+:func:`~repro.workloads.phases.phased_trace`, :func:`scan_trace`, ...) can
+supply one tenant's stream — then namespaced with the tenant's key prefix
+and merged into a single arrival order by a seeded weighted shuffle that
+preserves each tenant's internal request order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Union
+
+from repro.errors import ConfigurationError
+from repro.workloads.trace import Trace, TraceRecord
+
+__all__ = ["scan_trace", "prefix_trace", "mixed_tenant_trace"]
+
+Number = Union[int, float]
+
+
+def scan_trace(n_keys: int = 10_000,
+               n_requests: int = 50_000,
+               size: int = 1024,
+               cost: Number = 1,
+               hot_fraction: float = 0.0,
+               hot_keys: int = 50,
+               seed: int = 0,
+               key_prefix: str = "") -> Trace:
+    """A scan-heavy stream: sequential sweeps over ``n_keys`` keys.
+
+    Scans are the classic cache-pollution antagonist — each swept key is
+    referenced once per cycle, so no eviction policy earns hits on them
+    unless the whole sweep fits.  With ``hot_fraction`` > 0 a small hot set
+    of ``hot_keys`` extra keys is mixed in uniformly, modelling the
+    scanner's own metadata lookups that *do* exhibit reuse.
+    """
+    if n_keys < 1 or n_requests < 0:
+        raise ConfigurationError("n_keys >= 1 and n_requests >= 0 required")
+    if not 0 <= hot_fraction < 1:
+        raise ConfigurationError(
+            f"hot_fraction must be in [0, 1), got {hot_fraction}")
+    if hot_fraction and hot_keys < 1:
+        raise ConfigurationError("hot_keys must be >= 1 when hot_fraction > 0")
+    rng = random.Random(seed + 23)
+    records = []
+    cursor = 0
+    for _ in range(n_requests):
+        if hot_fraction and rng.random() < hot_fraction:
+            key = f"{key_prefix}hot{rng.randrange(hot_keys)}"
+        else:
+            key = f"{key_prefix}s{cursor}"
+            cursor = (cursor + 1) % n_keys
+        records.append(TraceRecord(key, size, cost))
+    return Trace(records, name="scan")
+
+
+def prefix_trace(trace: Trace, prefix: str, name: str = "") -> Trace:
+    """Re-key a trace under ``prefix`` (tenant namespacing).
+
+    ``prefix`` should end with ``":"`` so the first segment routes the key
+    (``"ads:" + "tf1:k3"`` → tenant ``"ads"``); one is appended if missing.
+    """
+    if not prefix:
+        raise ConfigurationError("prefix must be non-empty")
+    if not prefix.endswith(":"):
+        prefix = prefix + ":"
+    records = [TraceRecord(prefix + record.key, record.size, record.cost)
+               for record in trace]
+    return Trace(records, name=name or f"{prefix}{trace.name}")
+
+
+def mixed_tenant_trace(tenant_traces: Dict[str, Trace],
+                       seed: int = 0,
+                       name: str = "mixed-tenants") -> Trace:
+    """Merge per-tenant traces into one arrival order.
+
+    Keys are prefixed ``"<tenant>:"``; arrivals are drawn tenant-by-tenant
+    with probability proportional to each tenant's *remaining* request
+    count, so the blend stays representative end to end while every
+    tenant's internal order (phases, scan sweeps, recency structure) is
+    preserved.
+    """
+    if not tenant_traces:
+        raise ConfigurationError("at least one tenant trace is required")
+    for tenant in tenant_traces:
+        if not tenant or ":" in tenant:
+            raise ConfigurationError(
+                f"tenant name {tenant!r} must be non-empty and ':'-free")
+    rng = random.Random(seed + 31)
+    queues: List[List[TraceRecord]] = []
+    prefixes: List[str] = []
+    positions: List[int] = []
+    for tenant, trace in tenant_traces.items():
+        queues.append(trace.records)
+        prefixes.append(tenant + ":")
+        positions.append(0)
+    remaining = [len(queue) for queue in queues]
+    total = sum(remaining)
+    records: List[TraceRecord] = []
+    while total:
+        pick = rng.randrange(total)
+        for index, count in enumerate(remaining):
+            if pick < count:
+                break
+            pick -= count
+        record = queues[index][positions[index]]
+        positions[index] += 1
+        remaining[index] -= 1
+        total -= 1
+        records.append(TraceRecord(prefixes[index] + record.key,
+                                   record.size, record.cost))
+    return Trace(records, name=name)

@@ -1,6 +1,5 @@
 """LRU / FIFO / LFU tests, including an LRU-vs-OrderedDict oracle."""
 
-import random
 from collections import OrderedDict
 
 import pytest

@@ -87,7 +87,8 @@ class TestCoalescing:
 
     def test_split_preserves_alignment(self):
         buddy = BuddyAllocator(1024, min_block=64)
-        offsets = [buddy.allocate(size) for size in (64, 128, 256, 64)]
+        for size in (64, 128, 256, 64):
+            buddy.allocate(size)
         for offset, (block, _) in buddy.allocations().items():
             assert offset % block == 0
         buddy.check_invariants()

@@ -66,6 +66,19 @@ class TestCommands:
             assert main(["simulate", path, "--policy", policy]) == 0
             capsys.readouterr()
 
+    def test_tenancy_prints_three_tables(self, capsys):
+        assert main(["tenancy", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "total miss cost by scheme" in out
+        assert "arbitrated per-tenant breakdown" in out
+        assert "allocation timeline" in out
+        assert "shared-camp" in out and "static-50/50" in out
+
+    def test_tenancy_csv(self, capsys):
+        assert main(["tenancy", "--scale", "tiny", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme,total_miss_cost" in out
+
     @pytest.mark.parametrize("kind", ["var-size", "equi-size", "bg",
                                       "phased"])
     def test_gen_trace_kinds(self, tmp_path, capsys, kind):

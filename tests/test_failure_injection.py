@@ -12,7 +12,7 @@ import pytest
 from repro.cache import KVS
 from repro.cluster import CooperativeCluster
 from repro.core import LruPolicy
-from repro.core.policy import CacheItem, EvictionPolicy
+from repro.core.policy import EvictionPolicy
 from repro.errors import ProtocolError, ReproError
 from repro.twemcache import SocketClient, TwemcacheEngine, TwemcacheServer
 

@@ -30,6 +30,37 @@ class TestPerNamespaceMetrics:
         rows = metrics.summary_rows()
         assert rows == [("a", 2, 1.0, 1.0, 5.0)]
 
+    def test_extended_summary_rows_add_rate_and_bytes(self):
+        metrics = PerNamespaceMetrics()
+        metrics.record("a:1", 1, 5, hit=False)   # cold
+        metrics.record("a:1", 1, 5, hit=False)   # counted miss, cost 5
+        metrics.record("a:1", 1, 5, hit=True)    # counted hit
+        rows = metrics.summary_rows(extended=True)
+        assert len(rows[0]) == 7
+        namespace, requests, _, _, _, cost_miss_rate, resident = rows[0]
+        assert (namespace, requests) == ("a", 3)
+        assert cost_miss_rate == pytest.approx(2.5)   # 5 over 2 counted
+        assert resident == 0                          # not subscribed
+
+    def test_resident_bytes_tracked_as_listener(self):
+        kvs = KVS(100, LruPolicy())
+        metrics = PerNamespaceMetrics()
+        kvs.add_listener(metrics)
+        kvs.put("a:1", 40, 1)
+        kvs.put("b:1", 30, 1)
+        assert metrics.resident_bytes("a") == 40
+        assert metrics.resident_bytes("b") == 30
+        kvs.put("b:2", 50, 1)     # evicts a:1 (LRU), b:1 survives
+        assert metrics.resident_bytes("a") == 0
+        assert metrics.resident_bytes("b") == 80
+        rows = metrics.summary_rows(extended=True)
+        assert rows == []          # residency tracking records no requests
+
+    def test_cost_miss_rate_zero_without_counted_requests(self):
+        metrics = PerNamespaceMetrics()
+        metrics.record("a:1", 1, 5, hit=False)   # cold only
+        assert metrics.metrics("a").cost_miss_rate == 0.0
+
     def test_cold_exclusion_is_per_key_not_per_namespace(self):
         metrics = PerNamespaceMetrics()
         metrics.record("a:1", 1, 5, hit=False)   # cold

@@ -1,6 +1,5 @@
 """Clairvoyant baselines: Belady's MIN and the cost-aware offline greedy."""
 
-import random
 
 import pytest
 
@@ -13,7 +12,7 @@ from repro.core import (
 )
 from repro.errors import ConfigurationError, EvictionError
 from repro.sim import run_policy_on_trace
-from repro.workloads import Trace, TraceRecord, three_cost_trace, uniform_trace
+from repro.workloads import TraceRecord, three_cost_trace, uniform_trace
 
 
 def records(keys, size=1, cost=1):

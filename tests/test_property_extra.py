@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.core import CampPolicy
 from repro.errors import ProtocolError, TraceFormatError
 from repro.twemcache import parse_command_line
-from repro.workloads import Trace, TraceRecord, read_trace, write_trace
+from repro.workloads import TraceRecord, read_trace, write_trace
 
 
 class TestProtocolFuzz:

@@ -1,6 +1,5 @@
 """Slab allocator tests: geometry, allocation path, calcification."""
 
-import random
 
 import pytest
 from hypothesis import given, settings
@@ -148,7 +147,6 @@ class TestSlabReassignment:
 
     def test_reassign_foreign_slab_raises(self):
         a = SlabAllocator(1 << 20, slab_size=1 << 20, min_chunk=1 << 18)
-        b = SlabAllocator(1 << 20, slab_size=1 << 20, min_chunk=1 << 18)
         a.try_allocate(1, "x")
         slab = a.slabs_of_class(1)[0]
         a.reassign_slab(slab, 2)
