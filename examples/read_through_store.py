@@ -1,0 +1,75 @@
+"""Read-through caching with the unified Store facade.
+
+The paper's KVS contract — "lookup, and on a miss recompute at cost(p)
+and insert" — as one API call: ``Store.get_or_compute`` runs the loader
+on a miss, *measures* its wall time as the item's cost(p), memoizes the
+value, and reports a structured outcome.  Also shown: TTL expiry,
+admission/rejection outcomes, and the batched ``get_many``/``put_many``
+path that takes the thread-safe policy lock once per batch.
+
+Run with:  PYTHONPATH=src python examples/read_through_store.py
+"""
+
+import time
+
+from repro.cache import Computed, Outcome, StoreConfig
+from repro.core import SecondHitAdmission
+
+
+def expensive_profile_render(key: str) -> bytes:
+    """Stand-in for the paper's few-ms RDBMS lookup."""
+    time.sleep(0.002)
+    return f"<profile for {key}>".encode()
+
+
+def main() -> None:
+    store = (StoreConfig(4096)
+             .policy("camp", precision=5)
+             .thread_safe()
+             .track_metrics()
+             .build())
+
+    # -- read-through: cost(p) is captured from the loader ------------
+    first = store.get_or_compute("profile:alice", expensive_profile_render)
+    again = store.get_or_compute("profile:alice", expensive_profile_render)
+    print(f"first access : {first.outcome.name:14s} "
+          f"cost(p) captured = {first.cost * 1000:.1f} ms")
+    print(f"second access: {again.outcome.name:14s} "
+          f"value = {again.value!r}")
+
+    # -- a loader can declare size/cost/TTL explicitly ----------------
+    result = store.get_or_compute(
+        "ads:model7",
+        lambda key: Computed(value=b"ml-ranked ads", size=512, cost=10_000,
+                             ttl=0.05))
+    print(f"ads insert   : {result.outcome.name:14s} "
+          f"declared cost = {result.cost}")
+    time.sleep(0.06)
+    expired = store.get("ads:model7")
+    print(f"after TTL    : {expired.outcome.name}")
+
+    # -- structured rejections ----------------------------------------
+    too_big = store.put("blob:huge", size=100_000, cost=5)
+    print(f"oversized put: {too_big.outcome.name}")
+    guarded = (StoreConfig(4096)
+               .policy("lru")
+               .admission(SecondHitAdmission(window=16))
+               .build())
+    declined = guarded.put("one-hit-wonder", size=64, cost=1)
+    print(f"doorkeeper   : {declined.outcome.name}")
+
+    # -- batched requests ---------------------------------------------
+    batch = store.put_many(
+        [(f"member:{i}", 32, 100) for i in range(64)])
+    reread = store.get_many([f"member:{i}" for i in range(80)])
+    print(f"put_many     : {batch.inserted} inserted, "
+          f"{batch.rejected} rejected")
+    print(f"get_many     : {reread.hits} hits / {len(reread)} keys "
+          f"(outcome mix: {reread.count(Outcome.MISS)} pure misses)")
+
+    print(f"\nstore metrics: miss_rate={store.metrics.miss_rate:.3f} "
+          f"cost_miss_ratio={store.metrics.cost_miss_ratio:.3f}")
+
+
+if __name__ == "__main__":
+    main()

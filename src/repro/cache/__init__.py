@@ -12,10 +12,18 @@ from repro.cache.metrics import (
     WindowedMetrics,
     default_namespace,
 )
+from repro.cache.outcomes import AccessResult, BatchResult, Computed, Outcome
+from repro.cache.store import Store, StoreConfig
 
 __all__ = [
     "KVS",
     "CacheListener",
+    "Store",
+    "StoreConfig",
+    "Outcome",
+    "AccessResult",
+    "BatchResult",
+    "Computed",
     "SimulationMetrics",
     "OccupancyTracker",
     "WindowedMetrics",

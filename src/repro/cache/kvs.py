@@ -10,12 +10,24 @@ of the incoming key-value pair is larger than the available free space."
 The store owns byte accounting; the policy owns victim selection.  Optional
 pieces: an admission controller (section 6 future work) and listeners (the
 occupancy tracker behind Figures 6c/6d subscribes to insert/evict events).
+
+Requests report structured :class:`~repro.cache.outcomes.Outcome` values
+(``lookup``/``insert``), carry first-class TTLs (``expire_at`` on
+:class:`CacheItem`, lazily reclaimed on lookup), and can be batched
+(``lookup_many``/``insert_many`` drive the policy under a single
+``bulk()`` lock acquisition).  The historical bool API (``get``/``put``)
+survives as a thin deprecation shim; new code should go through
+:class:`repro.cache.store.Store`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Protocol, Union
+import time
+from dataclasses import replace as dataclass_replace
+from typing import (Callable, Dict, Iterable, List, Optional, Protocol,
+                    Tuple, Union)
 
+from repro.cache.outcomes import Outcome
 from repro.core.admission import AdmissionController
 from repro.core.policy import CacheItem, EvictionPolicy
 from repro.errors import ConfigurationError, EvictionError
@@ -23,6 +35,10 @@ from repro.errors import ConfigurationError, EvictionError
 __all__ = ["KVS", "CacheListener"]
 
 Number = Union[int, float]
+
+#: (key, size, cost) or (key, size, cost, ttl) — the insert_many row shape
+PutEntry = Union[Tuple[str, int, Number], Tuple[str, int, Number,
+                                                Optional[float]]]
 
 
 class CacheListener(Protocol):
@@ -36,13 +52,19 @@ class CacheListener(Protocol):
 class KVS:
     """A fixed-capacity key-value store with a pluggable eviction policy."""
 
+    #: values live with the caller (Store memoizes them), not in here
+    stores_values = False
+
     def __init__(self,
                  capacity: int,
                  policy: EvictionPolicy,
                  admission: Optional[AdmissionController] = None,
-                 item_overhead: int = 0) -> None:
+                 item_overhead: int = 0,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         """``capacity`` is in bytes.  ``item_overhead`` is charged on top of
-        every value's size (per-item metadata, like Twemcache's header)."""
+        every value's size (per-item metadata, like Twemcache's header).
+        ``clock`` feeds TTL expiry and is injectable for deterministic
+        tests (defaults to ``time.monotonic``)."""
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         if item_overhead < 0:
@@ -52,6 +74,7 @@ class KVS:
         self._policy = policy
         self._admission = admission
         self._overhead = item_overhead
+        self._clock = clock if clock is not None else time.monotonic
         self._items: Dict[str, CacheItem] = {}
         self._used = 0
         self._listeners: List[CacheListener] = []
@@ -59,11 +82,13 @@ class KVS:
         self._rejected_too_large = 0
         self._rejected_admission = 0
         self._evictions = 0
+        self._expired = 0
 
     # ------------------------------------------------------------------
     # observers
     # ------------------------------------------------------------------
     def add_listener(self, listener: CacheListener) -> None:
+        """Subscribe; listeners are notified in registration order."""
         self._listeners.append(listener)
 
     def _notify_insert(self, item: CacheItem) -> None:
@@ -75,52 +100,170 @@ class KVS:
             listener.on_evict(item, explicit)
 
     # ------------------------------------------------------------------
-    # the request interface used by the simulator
+    # the structured request interface
     # ------------------------------------------------------------------
-    def get(self, key: str) -> bool:
-        """Look up a key; True on hit.  Hits refresh the policy state."""
-        if key in self._items:
-            self._policy.on_hit(key)
-            if self._admission is not None:
-                self._admission.on_access(key)
-            return True
-        return False
+    def lookup(self, key: str) -> Outcome:
+        """Look up a key: HIT, MISS, or EXPIRED (entry lazily reclaimed).
 
-    def put(self, key: str, size: int, cost: Number) -> bool:
+        Hits refresh the policy (and admission-history) state.  Expired
+        entries are removed like an explicit delete — *not* like a
+        capacity eviction — so pressure-driven listeners (ghost caches)
+        do not mistake lifecycle expiry for memory pressure.
+        """
+        return self._lookup_one(self._policy, key, self._clock())
+
+    def _lookup_one(self, policy: EvictionPolicy, key: str,
+                    now: float) -> Outcome:
+        item = self._items.get(key)
+        if item is None:
+            return Outcome.MISS
+        if item.expire_at != 0 and now >= item.expire_at:
+            self._drop(policy, item, explicit=True)
+            self._expired += 1
+            return Outcome.EXPIRED
+        policy.on_hit(key)
+        if self._admission is not None:
+            self._admission.on_access(key)
+        return Outcome.HIT
+
+    def insert(self, key: str, size: int, cost: Number,
+               ttl: Optional[float] = None) -> Outcome:
         """Insert a computed value (the request generator's insert-on-miss).
 
-        Returns True when the pair became resident.  Values that can never
-        fit (or that the admission controller declines) are rejected and the
-        store is left untouched.  An existing key is overwritten.
+        Returns MISS_INSERTED when the pair became resident, or a
+        rejection outcome when it can never fit / the admission
+        controller declines.  Overwrites replace the resident copy —
+        but a *rejected* replacement leaves the old copy untouched
+        rather than silently dropping it.  ``ttl`` is seconds until
+        expiry on this store's clock (None or 0 = never).
         """
+        return self._insert_one(self._policy, key, size, cost, ttl)
+
+    def _insert_one(self, policy: EvictionPolicy, key: str, size: int,
+                    cost: Number, ttl: Optional[float]) -> Outcome:
         charged = size + self._overhead
-        item = CacheItem(key, charged, cost)
-        if key in self._items:
-            self.delete(key)
-        if charged > self._capacity or not self._policy.fits(item,
-                                                             self._capacity):
+        expire_at = self._clock() + ttl if ttl else 0.0
+        item = CacheItem(key, charged, cost, expire_at)
+        # Admissibility is decided *before* any resident copy is removed,
+        # so a rejected replacement cannot lose the old value.
+        if charged > self._capacity or not policy.fits(item, self._capacity):
             self._rejected_too_large += 1
-            return False
+            return Outcome.MISS_REJECTED_TOO_LARGE
         if self._admission is not None and not self._admission.admit(
                 key, size, cost):
             self._rejected_admission += 1
-            return False
-        while self._policy.wants_eviction(item, self.free_bytes):
-            if not len(self._policy):
+            return Outcome.MISS_REJECTED_ADMISSION
+        existing = self._items.pop(key, None)
+        if existing is not None:
+            policy.on_remove(key)
+            self._used -= existing.size
+            self._notify_evict(existing, explicit=True)
+        while policy.wants_eviction(item, self._capacity - self._used):
+            if not len(policy):
                 # nothing left to evict yet still no room: give up
                 self._rejected_too_large += 1
-                return False
-            victim_key = self._policy.pop_victim(item)
+                return Outcome.MISS_REJECTED_TOO_LARGE
+            victim_key = policy.pop_victim(item)
             victim = self._items.pop(victim_key)
             self._used -= victim.size
             self._evictions += 1
             self._notify_evict(victim, explicit=False)
-        self._policy.on_insert(key, charged, cost)
+        policy.on_insert(key, charged, cost)
         self._items[key] = item
         self._used += charged
         self._notify_insert(item)
+        return Outcome.MISS_INSERTED
+
+    def touch(self, key: str, ttl: Optional[float] = None) -> bool:
+        """Reset a live key's expiry (None or 0 = never); True when live."""
+        item = self._items.get(key)
+        if item is None:
+            return False
+        now = self._clock()
+        if item.expire_at != 0 and now >= item.expire_at:
+            self._drop(self._policy, item, explicit=True)
+            self._expired += 1
+            return False
+        expire_at = now + ttl if ttl else 0.0
+        self._items[key] = dataclass_replace(item, expire_at=expire_at)
         return True
 
+    def peek(self, key: str) -> Optional[CacheItem]:
+        """The resident item's metadata without refreshing policy state.
+
+        Expired-but-unreclaimed entries are reported as absent.
+        """
+        item = self._items.get(key)
+        if item is None:
+            return None
+        if item.expire_at != 0 and self._clock() >= item.expire_at:
+            return None
+        return item
+
+    def purge_expired(self, limit: Optional[int] = None) -> int:
+        """Eagerly reclaim expired entries (all, or at most ``limit``)."""
+        now = self._clock()
+        lapsed = [item for item in self._items.values()
+                  if item.expire_at != 0 and now >= item.expire_at]
+        if limit is not None:
+            lapsed = lapsed[:limit]
+        for item in lapsed:
+            self._drop(self._policy, item, explicit=True)
+            self._expired += 1
+        return len(lapsed)
+
+    # ------------------------------------------------------------------
+    # batched requests — one policy lock acquisition per batch
+    # ------------------------------------------------------------------
+    def lookup_many(self, keys: Iterable[str]) -> List[Outcome]:
+        """Batched :meth:`lookup`: same per-key semantics, driven through
+        the policy's ``bulk()`` handle so thread-safe wrappers lock once
+        for the whole batch."""
+        outcomes: List[Outcome] = []
+        append = outcomes.append
+        now = self._clock()
+        with self._policy.bulk() as policy:
+            lookup_one = self._lookup_one
+            for key in keys:
+                append(lookup_one(policy, key, now))
+        return outcomes
+
+    def insert_many(self, entries: Iterable[PutEntry]) -> List[Outcome]:
+        """Batched :meth:`insert` over (key, size, cost[, ttl]) rows.
+
+        Exactly equivalent to sequential inserts — same residency, same
+        evictions — just cheaper under a thread-safe policy wrapper.
+        """
+        outcomes: List[Outcome] = []
+        append = outcomes.append
+        with self._policy.bulk() as policy:
+            insert_one = self._insert_one
+            for entry in entries:
+                key, size, cost = entry[0], entry[1], entry[2]
+                ttl = entry[3] if len(entry) > 3 else None
+                append(insert_one(policy, key, size, cost, ttl))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # the historical bool API (deprecated shims)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> bool:
+        """Deprecated: use :meth:`lookup` (or go through ``Store``).
+
+        True on hit; expired entries read as misses.
+        """
+        return self.lookup(key) is Outcome.HIT
+
+    def put(self, key: str, size: int, cost: Number) -> bool:
+        """Deprecated: use :meth:`insert` (or go through ``Store``).
+
+        True when the pair became resident.
+        """
+        return self.insert(key, size, cost) is Outcome.MISS_INSERTED
+
+    # ------------------------------------------------------------------
+    # resizing / removal
+    # ------------------------------------------------------------------
     def resize(self, new_capacity: int) -> List[CacheItem]:
         """Change the byte budget at runtime; returns the items evicted.
 
@@ -158,6 +301,14 @@ class KVS:
         self._notify_evict(item, explicit=True)
         return True
 
+    def _drop(self, policy: EvictionPolicy, item: CacheItem,
+              explicit: bool) -> None:
+        """Remove a known-resident item through the given policy handle."""
+        self._items.pop(item.key, None)
+        policy.on_remove(item.key)
+        self._used -= item.size
+        self._notify_evict(item, explicit=explicit)
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -178,6 +329,10 @@ class KVS:
         return self._policy
 
     @property
+    def clock(self) -> Callable[[], float]:
+        return self._clock
+
+    @property
     def eviction_count(self) -> int:
         return self._evictions
 
@@ -188,6 +343,22 @@ class KVS:
     @property
     def rejected_admission(self) -> int:
         return self._rejected_admission
+
+    @property
+    def expired_count(self) -> int:
+        """Entries reclaimed because their TTL lapsed."""
+        return self._expired
+
+    def stats(self) -> Dict[str, Number]:
+        return {
+            "items": len(self._items),
+            "capacity": self._capacity,
+            "used_bytes": self._used,
+            "evictions": self._evictions,
+            "rejected_too_large": self._rejected_too_large,
+            "rejected_admission": self._rejected_admission,
+            "expired": self._expired,
+        }
 
     def __contains__(self, key: str) -> bool:
         return key in self._items

@@ -1,0 +1,135 @@
+"""Structured request outcomes shared by :class:`KVS` and :class:`Store`.
+
+The paper's KVS contract is "lookup, and on a miss recompute at cost(p)
+and insert".  Bare booleans flatten that contract: a ``False`` from
+``put`` cannot say *why* the pair is not resident (too large for the
+store?  declined by the admission controller?), and a ``False`` from
+``get`` cannot distinguish a cold miss from an expired entry.  Every
+request surface in the repo now reports one of these outcomes instead;
+the old bool API survives only as a deprecation shim.
+
+This module is deliberately tiny and import-cycle free: ``kvs`` and
+``store`` both import it, ``store`` re-exports it as the public face.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+__all__ = ["Outcome", "AccessResult", "BatchResult", "Computed"]
+
+Number = Union[int, float]
+
+
+class Outcome(enum.Enum):
+    """Disposition of one request against the store.
+
+    ``HIT``/``MISS``/``EXPIRED`` describe lookups; the ``MISS_*`` values
+    describe what happened to the insert-on-miss.  ``EXPIRED`` means the
+    key *was* resident but its TTL had lapsed — the entry is reclaimed
+    and the request counts as a miss.
+    """
+
+    HIT = "hit"
+    MISS = "miss"
+    MISS_INSERTED = "miss_inserted"
+    MISS_REJECTED_TOO_LARGE = "miss_rejected_too_large"
+    MISS_REJECTED_ADMISSION = "miss_rejected_admission"
+    EXPIRED = "expired"
+
+    @property
+    def is_rejection(self) -> bool:
+        return self in (Outcome.MISS_REJECTED_TOO_LARGE,
+                        Outcome.MISS_REJECTED_ADMISSION)
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Everything one request produced.
+
+    ``resident`` is the key's membership *after* the call; ``expired``
+    flags that the lookup found a lapsed entry (set even when the
+    follow-up insert gave the final ``outcome``).  Truthiness means HIT,
+    matching the old ``KVS.get`` bool.
+    """
+
+    key: str
+    outcome: Outcome
+    size: int = 0
+    cost: Number = 0.0
+    value: object = None
+    resident: bool = False
+    expired: bool = False
+
+    @property
+    def hit(self) -> bool:
+        return self.outcome is Outcome.HIT
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+    @property
+    def rejected(self) -> bool:
+        return self.outcome.is_rejection
+
+    def __bool__(self) -> bool:
+        return self.hit
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Per-item outcomes of one ``get_many``/``put_many`` call.
+
+    Kept lightweight on purpose — batch calls exist for throughput, so
+    they return bare outcomes rather than one :class:`AccessResult`
+    allocation per item.
+    """
+
+    outcomes: List[Outcome]
+
+    def count(self, outcome: Outcome) -> int:
+        return self.outcomes.count(outcome)
+
+    @property
+    def hits(self) -> int:
+        return self.count(Outcome.HIT)
+
+    @property
+    def misses(self) -> int:
+        return len(self.outcomes) - self.hits
+
+    @property
+    def expired(self) -> int:
+        return self.count(Outcome.EXPIRED)
+
+    @property
+    def inserted(self) -> int:
+        return self.count(Outcome.MISS_INSERTED)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.is_rejection)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[Outcome]:
+        return iter(self.outcomes)
+
+
+@dataclass(slots=True)
+class Computed:
+    """A loader's explicit answer for :meth:`Store.get_or_compute`.
+
+    Returning the bare value lets the store derive ``size`` from
+    ``len(value)`` and ``cost`` from the measured recompute time;
+    returning ``Computed`` overrides any of the three plus the TTL.
+    """
+
+    value: object = None
+    size: Optional[int] = None
+    cost: Optional[Number] = None
+    ttl: Optional[float] = None

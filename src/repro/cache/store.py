@@ -1,0 +1,457 @@
+"""The unified request surface: a read-through facade over any backend.
+
+The paper's KVS model is "lookup, and on a miss recompute at cost(p) and
+insert".  :class:`Store` is that contract as one public API:
+
+* :meth:`Store.get_or_compute` — read-through with a loader; the store
+  *measures* the loader's wall time and memoizes it as the paper's
+  cost(p), so callers no longer hand-roll insert-on-miss or invent costs.
+* Structured :class:`~repro.cache.outcomes.Outcome` / ``AccessResult``
+  replace bool returns (HIT / MISS_INSERTED / MISS_REJECTED_TOO_LARGE /
+  MISS_REJECTED_ADMISSION / EXPIRED).
+* First-class TTLs — expiry lives in ``CacheItem``/``KVS`` (and the slab
+  engine), not in any one engine's private bookkeeping.
+* Batched :meth:`get_many` / :meth:`put_many` drive the eviction policy
+  under a single ``bulk()`` lock acquisition — measurably faster than
+  looped single calls on thread-safe-wrapped policies (see
+  ``benchmarks/test_store_batch.py``).
+* :class:`StoreConfig` — a fluent builder unifying construction: policy
+  by registry name, admission controller, item overhead, listeners,
+  metrics, clock.
+
+A *backend* is anything exposing the structured KVS surface (``lookup``,
+``insert``, ``delete``, ``touch``, containment).  :class:`repro.cache.kvs.KVS`
+is the canonical one; the twemcache slab engine adapts its four-step
+allocation path to the same protocol so the server routes through a Store
+too.  Backends that hold their own value payloads declare
+``stores_values = True`` and receive ``value``/metadata kwargs on insert;
+otherwise the Store memoizes loader values itself and drops them on
+eviction via a listener.
+
+Thread safety has two levels: a thread-safe *policy* wrapper makes the
+byte accounting safe (as for the bare KVS), while the optional ``lock``
+constructor argument serializes whole Store operations — the twemcache
+engine passes its engine-wide RLock so ``engine.store`` is as safe as
+the engine's own methods.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Union)
+
+from repro.cache.kvs import KVS, PutEntry
+from repro.cache.metrics import SimulationMetrics
+from repro.cache.outcomes import AccessResult, BatchResult, Computed, Outcome
+from repro.core import make_policy
+from repro.core.admission import AdmissionController
+from repro.core.concurrent import ThreadSafePolicy
+from repro.core.policy import CacheItem, EvictionPolicy
+from repro.errors import ConfigurationError
+
+__all__ = ["Store", "StoreConfig", "Outcome", "AccessResult", "BatchResult",
+           "Computed"]
+
+Number = Union[int, float]
+
+#: loader(key) -> value | Computed
+Loader = Callable[[str], object]
+
+
+class _NoLock:
+    """No-op context manager for lock-free (single-threaded) stores."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NO_LOCK = _NoLock()
+
+
+class _ValueReaper:
+    """Listener that drops memoized values when their key leaves the store."""
+
+    def __init__(self, values: Dict[str, object]) -> None:
+        self._values = values
+
+    def on_insert(self, item: CacheItem) -> None:
+        pass
+
+    def on_evict(self, item: CacheItem, explicit: bool) -> None:
+        self._values.pop(item.key, None)
+
+
+class Store:
+    """Read-through facade: one request API over a pluggable backend."""
+
+    def __init__(self,
+                 backend: KVS,
+                 metrics: Optional[SimulationMetrics] = None,
+                 sizer: Optional[Callable[[str, object], int]] = None,
+                 lock: Optional[object] = None) -> None:
+        """``backend`` is usually a :class:`KVS`; any object speaking the
+        structured protocol works.  ``metrics`` (optional) is fed by
+        :meth:`access` and :meth:`get_or_compute` with the paper's
+        cold-request exclusion.  ``sizer`` maps (key, loaded value) to a
+        byte size when the loader does not declare one (defaults to
+        ``len(value)``).  ``lock`` (any context manager, e.g. an RLock)
+        serializes every Store operation — pass the owning engine's lock
+        when the backend is shared across threads."""
+        self._backend = backend
+        self._backend_stores_values = bool(
+            getattr(backend, "stores_values", False))
+        self._sizer = sizer
+        self._lock = lock if lock is not None else _NO_LOCK
+        self._values: Dict[str, object] = {}
+        self._reaping = False
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # single-key requests
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> AccessResult:
+        """Pure lookup: HIT (with the memoized value), MISS, or EXPIRED."""
+        with self._lock:
+            outcome = self._backend.lookup(key)
+            if outcome is Outcome.HIT:
+                item = self._peek(key)
+                return AccessResult(
+                    key, outcome,
+                    size=item.size if item is not None else 0,
+                    cost=item.cost if item is not None else 0.0,
+                    value=self._value_of(key), resident=True)
+            return AccessResult(key, outcome,
+                                expired=outcome is Outcome.EXPIRED)
+
+    def put(self, key: str, size: int, cost: Number = 0.0,
+            ttl: Optional[float] = None, value: object = None,
+            **meta: object) -> AccessResult:
+        """Explicit insert; ``.outcome`` says what happened and
+        ``.resident`` reports membership after the call — a rejected
+        replacement leaves the old copy resident, so the two disagree
+        exactly when an overwrite was refused.
+
+        ``value`` (and any extra ``meta`` kwargs, for backends that store
+        their own payloads) is memoized for later hits.
+        """
+        with self._lock:
+            if self._backend_stores_values:
+                if value is None:
+                    raise ConfigurationError(
+                        f"this store's backend holds value payloads; "
+                        f"pass value= when putting {key!r}")
+                outcome = self._backend.insert(key, size, cost, ttl=ttl,
+                                               value=value, **meta)
+            else:
+                outcome = self._backend.insert(key, size, cost, ttl=ttl)
+                if outcome is Outcome.MISS_INSERTED and value is not None:
+                    self._memoize(key, value)
+            resident = outcome is Outcome.MISS_INSERTED or (
+                outcome.is_rejection and key in self._backend)
+            return AccessResult(key, outcome, size=size, cost=cost,
+                                value=value, resident=resident)
+
+    def access(self, key: str, size: int, cost: Number,
+               ttl: Optional[float] = None) -> AccessResult:
+        """One simulator step: lookup, record metrics, insert on miss.
+
+        This is :meth:`get_or_compute` with the (size, cost) already
+        known from a trace record — no loader, no value payload.
+        """
+        with self._lock:
+            backend = self._backend
+            outcome = backend.lookup(key)
+            hit = outcome is Outcome.HIT
+            if self.metrics is not None:
+                self.metrics.record(key, size, cost, hit)
+            if hit:
+                return AccessResult(key, outcome, size=size, cost=cost,
+                                    resident=True)
+            expired = outcome is Outcome.EXPIRED
+            outcome = backend.insert(key, size, cost, ttl=ttl)
+            return AccessResult(key, outcome, size=size, cost=cost,
+                                resident=outcome is Outcome.MISS_INSERTED,
+                                expired=expired)
+
+    def get_or_compute(self, key: str, loader: Loader,
+                       ttl: Optional[float] = None,
+                       size: Optional[int] = None,
+                       cost: Optional[Number] = None) -> AccessResult:
+        """Read-through: return the cached value or recompute-and-insert.
+
+        On a miss the ``loader(key)`` runs once; its wall-clock seconds
+        become the item's cost(p) unless ``cost`` (or a
+        :class:`Computed` return) says otherwise, and ``len(value)``
+        becomes the size unless ``size``/``Computed``/the store's sizer
+        does.  The result's ``value`` is always usable — even when the
+        insert was rejected, the freshly computed value is handed back.
+
+        When the store holds a lock, the loader runs *under* it: a
+        concurrent stampede on one key computes once, but a slow loader
+        blocks other store operations for its duration (per-key dogpile
+        guards are future work).
+        """
+        with self._lock:
+            outcome = self._backend.lookup(key)
+            if outcome is Outcome.HIT:
+                item = self._peek(key)
+                item_size = item.size if item is not None else 0
+                item_cost = item.cost if item is not None else 0.0
+                if self.metrics is not None:
+                    self.metrics.record(key, item_size, item_cost, True)
+                return AccessResult(key, outcome, size=item_size,
+                                    cost=item_cost,
+                                    value=self._value_of(key), resident=True)
+            expired = outcome is Outcome.EXPIRED
+            started = time.perf_counter()
+            loaded = loader(key)
+            elapsed = time.perf_counter() - started
+            value, size, cost, ttl = self._resolve_computed(
+                key, loaded, size, cost, ttl, elapsed)
+            if self._backend_stores_values:
+                outcome = self._backend.insert(key, size, cost, ttl=ttl,
+                                               value=value)
+            else:
+                outcome = self._backend.insert(key, size, cost, ttl=ttl)
+                if outcome is Outcome.MISS_INSERTED and value is not None:
+                    self._memoize(key, value)
+            if self.metrics is not None:
+                self.metrics.record(key, size, cost, False)
+            return AccessResult(key, outcome, size=size, cost=cost,
+                                value=value,
+                                resident=outcome is Outcome.MISS_INSERTED,
+                                expired=expired)
+
+    def _resolve_computed(self, key: str, loaded: object,
+                          size: Optional[int], cost: Optional[Number],
+                          ttl: Optional[float], elapsed: float):
+        if isinstance(loaded, Computed):
+            value = loaded.value
+            size = size if size is not None else loaded.size
+            cost = cost if cost is not None else loaded.cost
+            ttl = ttl if ttl is not None else loaded.ttl
+        else:
+            value = loaded
+        if size is None:
+            if self._sizer is not None:
+                size = self._sizer(key, value)
+            else:
+                try:
+                    size = len(value)  # type: ignore[arg-type]
+                except TypeError:
+                    raise ConfigurationError(
+                        f"cannot size loaded value for {key!r}; pass "
+                        f"size=, return a Computed, or give the store a "
+                        f"sizer") from None
+        if cost is None:
+            cost = elapsed
+        return value, size, cost, ttl
+
+    def delete(self, key: str) -> bool:
+        """Explicit removal; True when the key was resident."""
+        with self._lock:
+            self._values.pop(key, None)
+            return self._backend.delete(key)
+
+    def touch(self, key: str, ttl: Optional[float] = None) -> bool:
+        """Reset a live key's TTL (None or 0 = never); True when live."""
+        with self._lock:
+            return self._backend.touch(key, ttl)
+
+    # ------------------------------------------------------------------
+    # batched requests
+    # ------------------------------------------------------------------
+    def get_many(self, keys: Sequence[str]) -> BatchResult:
+        """Batched lookup under one policy-lock acquisition.
+
+        Returns bare per-key outcomes (no per-item result allocation, no
+        metrics feed) — the throughput-oriented sibling of :meth:`get`.
+        """
+        with self._lock:
+            lookup_many = getattr(self._backend, "lookup_many", None)
+            if lookup_many is not None:
+                return BatchResult(lookup_many(keys))
+            return BatchResult([self._backend.lookup(key) for key in keys])
+
+    def put_many(self, entries: Iterable[PutEntry]) -> BatchResult:
+        """Batched insert of (key, size, cost[, ttl]) rows under one
+        policy-lock acquisition; outcome semantics match :meth:`put`.
+
+        Rows carry no value payloads, so backends that store their own
+        values (the slab engine) are refused rather than silently fed
+        empty payloads — use :meth:`put` with ``value=`` there.
+        """
+        if self._backend_stores_values:
+            raise ConfigurationError(
+                "put_many rows carry no value payloads; this store's "
+                "backend holds values — use put(value=...) instead")
+        with self._lock:
+            insert_many = getattr(self._backend, "insert_many", None)
+            if insert_many is not None:
+                return BatchResult(insert_many(entries))
+            outcomes = []
+            for entry in entries:
+                key, size, cost = entry[0], entry[1], entry[2]
+                ttl = entry[3] if len(entry) > 3 else None
+                outcomes.append(
+                    self._backend.insert(key, size, cost, ttl=ttl))
+            return BatchResult(outcomes)
+
+    # ------------------------------------------------------------------
+    # value memoization
+    # ------------------------------------------------------------------
+    def _memoize(self, key: str, value: object) -> None:
+        if not self._reaping:
+            add_listener = getattr(self._backend, "add_listener", None)
+            if add_listener is not None:
+                add_listener(_ValueReaper(self._values))
+            self._reaping = True
+        self._values[key] = value
+
+    def _value_of(self, key: str) -> object:
+        if self._backend_stores_values:
+            value_of = getattr(self._backend, "value_of", None)
+            return value_of(key) if value_of is not None else None
+        return self._values.get(key)
+
+    def _peek(self, key: str) -> Optional[CacheItem]:
+        peek = getattr(self._backend, "peek", None)
+        return peek(key) if peek is not None else None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> KVS:
+        return self._backend
+
+    @property
+    def kvs(self) -> KVS:
+        """The backend, under its historical name (usually a KVS)."""
+        return self._backend
+
+    def stats(self) -> Dict[str, Number]:
+        with self._lock:
+            return dict(self._backend.stats())
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._backend
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._backend)
+
+    def check_consistency(self) -> None:
+        with self._lock:
+            check = getattr(self._backend, "check_consistency", None)
+            if check is not None:
+                check()
+            for key in self._values:
+                if key not in self._backend:
+                    raise ConfigurationError(
+                        f"memoized value for non-resident key {key!r}")
+
+
+class StoreConfig:
+    """Fluent, one-stop construction of a :class:`Store` over a KVS.
+
+    >>> store = (StoreConfig(64 << 20)
+    ...          .policy("camp", precision=5)
+    ...          .thread_safe()
+    ...          .track_metrics()
+    ...          .build())
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._policy_name: Optional[str] = "camp"
+        self._policy_kwargs: Dict[str, object] = {}
+        self._policy_instance: Optional[EvictionPolicy] = None
+        self._admission: Optional[AdmissionController] = None
+        self._item_overhead = 0
+        self._thread_safe = False
+        self._listeners: List[object] = []
+        self._clock: Optional[Callable[[], float]] = None
+        self._metrics: Optional[SimulationMetrics] = None
+        self._sizer: Optional[Callable[[str, object], int]] = None
+        self._lock: Optional[object] = None
+
+    def policy(self, policy: Union[str, EvictionPolicy],
+               **kwargs: object) -> "StoreConfig":
+        """Eviction policy, by registry name (kwargs forwarded to the
+        factory) or as a ready instance."""
+        if isinstance(policy, EvictionPolicy):
+            if kwargs:
+                raise ConfigurationError(
+                    "policy kwargs only apply to registry names")
+            self._policy_instance = policy
+            self._policy_name = None
+        else:
+            self._policy_name = policy
+            self._policy_kwargs = dict(kwargs)
+            self._policy_instance = None
+        return self
+
+    def admission(self, controller: AdmissionController) -> "StoreConfig":
+        self._admission = controller
+        return self
+
+    def item_overhead(self, overhead: int) -> "StoreConfig":
+        """Bytes charged per item on top of its value size."""
+        self._item_overhead = overhead
+        return self
+
+    def thread_safe(self, enabled: bool = True) -> "StoreConfig":
+        """Wrap the policy in a :class:`ThreadSafePolicy`; batch calls
+        still take its lock only once."""
+        self._thread_safe = enabled
+        return self
+
+    def listener(self, listener: object) -> "StoreConfig":
+        """Subscribe a :class:`CacheListener`; repeatable, order kept."""
+        self._listeners.append(listener)
+        return self
+
+    def clock(self, clock: Callable[[], float]) -> "StoreConfig":
+        """TTL clock (injectable for deterministic expiry tests)."""
+        self._clock = clock
+        return self
+
+    def track_metrics(self,
+                      metrics: Optional[SimulationMetrics] = None
+                      ) -> "StoreConfig":
+        """Feed a :class:`SimulationMetrics` (a fresh one by default)."""
+        self._metrics = metrics if metrics is not None else SimulationMetrics()
+        return self
+
+    def sizer(self, sizer: Callable[[str, object], int]) -> "StoreConfig":
+        """How to size loader values lacking ``len()`` / explicit sizes."""
+        self._sizer = sizer
+        return self
+
+    def lock(self, lock: object) -> "StoreConfig":
+        """Serialize whole Store operations under this context manager."""
+        self._lock = lock
+        return self
+
+    def build(self) -> Store:
+        if self._policy_instance is not None:
+            policy = self._policy_instance
+        else:
+            policy = make_policy(self._policy_name, self._capacity,
+                                 **self._policy_kwargs)
+        if self._thread_safe:
+            policy = ThreadSafePolicy(policy)
+        kvs = KVS(self._capacity, policy, admission=self._admission,
+                  item_overhead=self._item_overhead, clock=self._clock)
+        for listener in self._listeners:
+            kvs.add_listener(listener)
+        return Store(kvs, metrics=self._metrics, sizer=self._sizer,
+                     lock=self._lock)

@@ -3,6 +3,7 @@
 Subcommands:
 
 * ``list``        — show every runnable experiment with its paper reference
+* ``policies``    — show every registered eviction policy with its kwargs
 * ``run``         — run experiments by id (``all`` for everything) at a
   chosen scale, printing each table (optionally CSV)
 * ``gen-trace``   — write a synthetic trace file (three-cost / var-size /
@@ -44,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
+
+    sub.add_parser(
+        "policies",
+        help="list registered eviction policies and their kwargs")
 
     run_cmd = sub.add_parser("run", help="run experiments")
     run_cmd.add_argument("experiments", nargs="+",
@@ -112,6 +117,35 @@ def _cmd_list() -> int:
     for spec in list_experiments():
         print(f"{spec.experiment_id:22s} {spec.paper_ref:15s} "
               f"{spec.description}")
+    return 0
+
+
+def _cmd_policies() -> int:
+    """Print each registry name with the kwargs its factory accepts.
+
+    Kwargs are read off the concrete policy class's ``__init__`` (the
+    registry factories forward ``**kwargs`` to it), so the listing cannot
+    drift from the code.
+    """
+    import inspect
+    probe_capacity = 1 << 16
+    for name in policy_names():
+        policy = make_policy(name, probe_capacity)
+        cls = type(policy)
+        params = []
+        for param in list(inspect.signature(cls.__init__).parameters
+                          .values())[1:]:
+            if param.kind in (inspect.Parameter.VAR_POSITIONAL,
+                              inspect.Parameter.VAR_KEYWORD):
+                continue
+            if param.default is inspect.Parameter.empty:
+                params.append(param.name)
+            else:
+                params.append(f"{param.name}={param.default!r}")
+        doc = (inspect.getdoc(cls) or "").strip().split("\n")[0]
+        print(f"{name:14s} {cls.__name__}({', '.join(params)})")
+        if doc:
+            print(f"{'':14s}   {doc}")
     return 0
 
 
@@ -189,6 +223,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"cost-miss ratio   : {result.cost_miss_ratio:.4f}")
     print(f"evictions         : {result.evictions}")
     print(f"wall seconds      : {result.wall_seconds:.3f}")
+    for name, count in sorted(result.outcomes.items()):
+        print(f"  outcome {name:18s}: {count}")
     for name, value in sorted(result.policy_stats.items()):
         print(f"  stat {name:20s}: {value}")
     return 0
@@ -262,6 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "policies":
+            return _cmd_policies()
         if args.command == "run":
             return _cmd_run(args.experiments, args.scale, args.csv,
                             args.chart)

@@ -22,7 +22,8 @@ Two building blocks reproduce that story in Python:
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.core.camp import CampPolicy
 from repro.core.policy import CacheItem, EvictionPolicy
@@ -62,6 +63,17 @@ class ThreadSafePolicy(EvictionPolicy):
     def on_remove(self, key: str) -> None:
         with self._lock:
             self._inner.on_remove(key)
+
+    @contextmanager
+    def bulk(self) -> Iterator[EvictionPolicy]:
+        """Hold the lock once and hand out the inner policy for a batch.
+
+        This is the throughput lever behind ``Store.get_many``/
+        ``put_many``: one acquisition amortized over the whole batch
+        instead of one per policy event.
+        """
+        with self._lock:
+            yield self._inner
 
     def wants_eviction(self, incoming: CacheItem, free_bytes: int) -> bool:
         with self._lock:

@@ -12,8 +12,10 @@ evicts even when the store as a whole has free bytes).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Dict, Iterator, Optional, Union
+from typing import (Callable, ClassVar, ContextManager, Dict, Iterator,
+                    Optional, Union)
 
 from repro.errors import ConfigurationError
 
@@ -23,23 +25,33 @@ __all__ = ["CacheItem", "EvictionPolicy", "register_policy", "make_policy",
 
 @dataclass(frozen=True, slots=True)
 class CacheItem:
-    """An immutable (key, size, cost) triple.
+    """An immutable (key, size, cost) triple plus expiry metadata.
 
     ``size`` is in bytes; ``cost`` is the time (or any non-negative
     quantity) required to recompute the value on a miss — the paper's
     examples range from a few-millisecond RDBMS lookup to hours of machine
-    learning.
+    learning.  ``expire_at`` is an absolute clock reading (0 = never);
+    carrying it here rather than in any one engine makes TTLs visible to
+    every store, listener and ghost cache uniformly.
     """
 
     key: str
     size: int
     cost: Union[int, float]
+    expire_at: float = 0.0
 
     def __post_init__(self) -> None:
         if self.size < 1:
             raise ConfigurationError(f"item size must be >= 1, got {self.size}")
         if self.cost < 0:
             raise ConfigurationError(f"item cost must be >= 0, got {self.cost}")
+        if self.expire_at < 0:
+            raise ConfigurationError(
+                f"item expire_at must be >= 0, got {self.expire_at}")
+
+    def expired(self, now: float) -> bool:
+        """True once ``now`` has reached a non-zero ``expire_at``."""
+        return self.expire_at != 0 and now >= self.expire_at
 
     @property
     def ratio(self) -> float:
@@ -90,6 +102,16 @@ class EvictionPolicy(ABC):
     def wants_eviction(self, incoming: CacheItem, free_bytes: int) -> bool:
         """True while space must be reclaimed before ``incoming`` fits."""
         return free_bytes < incoming.size
+
+    def bulk(self) -> ContextManager["EvictionPolicy"]:
+        """Context manager yielding the policy handle to drive a batch.
+
+        Plain policies yield themselves; thread-safe wrappers override
+        this to take their lock *once* and yield the unwrapped inner
+        policy, which is what makes ``get_many``/``put_many`` cheaper
+        than looped single calls.
+        """
+        return nullcontext(self)
 
     def fits(self, incoming: CacheItem, capacity: int) -> bool:
         """False when ``incoming`` could never be cached (e.g. larger than

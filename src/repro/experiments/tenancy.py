@@ -30,8 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.analysis import Table
-from repro.cache import KVS, PerNamespaceMetrics
-from repro.core import CampPolicy
+from repro.cache import PerNamespaceMetrics, StoreConfig
 from repro.errors import ConfigurationError
 from repro.experiments.data import get_scale
 from repro.sim import TenancyResult, simulate_tenants
@@ -114,14 +113,14 @@ def tenant_specs(share: float = 0.5) -> List[TenantSpec]:
 def run_shared(trace: Trace, total_bytes: int
                ) -> Tuple[float, PerNamespaceMetrics]:
     """One undifferentiated CAMP pool; returns (total cost, breakdown)."""
-    kvs = KVS(total_bytes, CampPolicy(precision=5))
     metrics = PerNamespaceMetrics()
-    kvs.add_listener(metrics)
+    store = (StoreConfig(total_bytes)
+             .policy("camp", precision=5)
+             .listener(metrics)
+             .build())
     for record in trace:
-        hit = kvs.get(record.key)
-        metrics.record(record.key, record.size, record.cost, hit)
-        if not hit:
-            kvs.put(record.key, record.size, record.cost)
+        result = store.access(record.key, record.size, record.cost)
+        metrics.record(record.key, record.size, record.cost, result.hit)
     total = sum(row[4] for row in metrics.summary_rows())
     return total, metrics
 

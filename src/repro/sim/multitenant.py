@@ -4,7 +4,9 @@ The single-store simulator (:mod:`repro.sim.simulator`) drives one KVS;
 this sibling drives a multi-tenant manager — same request loop and
 cold-request exclusion, but metrics are kept per tenant by the manager
 itself and the allocation timeline (how the arbiter shifted bytes over
-the run) is sampled alongside.
+the run) is sampled alongside.  Requests route through each tenant's
+:class:`~repro.cache.store.Store` facade, and the per-outcome tallies
+ride along on the result.
 """
 
 from __future__ import annotations
@@ -33,6 +35,8 @@ class TenancyResult:
     transfers: List[Transfer]
     wall_seconds: float
     samples: List[Tuple[int, Dict[str, int]]] = field(default_factory=list)
+    #: per-outcome request tallies, keyed by ``Outcome.name.lower()``
+    outcomes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_cost_missed(self) -> float:
@@ -80,14 +84,20 @@ def simulate_tenants(manager: TenantManager,
         raise ConfigurationError(
             f"sample_every must be >= 1, got {sample_every}")
     samples: List[Tuple[int, Dict[str, int]]] = []
+    # tally by enum member in the loop; stringify once afterwards
+    tallies: Dict[object, int] = {}
     started = time.perf_counter()
     index = 0
     for record in trace:
-        manager.access(record.key, record.size, record.cost)
+        result = manager.access(record.key, record.size, record.cost)
+        outcome = result.outcome
+        tallies[outcome] = tallies.get(outcome, 0) + 1
         index += 1
         if sample_every and index % sample_every == 0:
             samples.append((index, manager.allocations()))
     elapsed = time.perf_counter() - started
+    outcome_counts = {outcome.name.lower(): count
+                      for outcome, count in tallies.items()}
     return TenancyResult(
         manager=manager,
         per_tenant={tenant.name: tenant.metrics
@@ -97,4 +107,5 @@ def simulate_tenants(manager: TenantManager,
         transfers=list(manager.transfers),
         wall_seconds=elapsed,
         samples=samples,
+        outcomes=outcome_counts,
     )

@@ -1,19 +1,24 @@
 """The trace-driven simulator of section 3.
 
-For each trace record the request generator asks the KVS for the key; on a
-miss it inserts the (key, size, cost) pair, which may trigger evictions.
+For each trace record the request generator asks the store for the key; on
+a miss it inserts the (key, size, cost) pair, which may trigger evictions.
 Metrics exclude each key's first (cold) request.  Optionally samples the
 per-namespace memory occupancy for the Figure 6c/6d time series.
+
+Requests route through the :class:`~repro.cache.store.Store` facade, so
+every step yields a structured outcome; the per-outcome tallies ride along
+on :class:`SimulationResult`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Union
 
 from repro.cache.kvs import KVS
 from repro.cache.metrics import OccupancyTracker, SimulationMetrics
+from repro.cache.store import Store
 from repro.core.admission import AdmissionController
 from repro.core.policy import EvictionPolicy
 from repro.errors import ConfigurationError
@@ -34,6 +39,8 @@ class SimulationResult:
     rejected_admission: int
     wall_seconds: float
     occupancy: Optional[OccupancyTracker] = None
+    #: per-outcome request tallies, keyed by ``Outcome.name.lower()``
+    outcomes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def miss_rate(self) -> float:
@@ -51,33 +58,52 @@ class SimulationResult:
         return out
 
 
-def simulate(kvs: KVS,
+def simulate(kvs: Union[KVS, Store],
              trace: Iterable[TraceRecord],
              sample_every: Optional[int] = None,
              occupancy: Optional[OccupancyTracker] = None
              ) -> SimulationResult:
-    """Run one trace through one KVS; returns metrics and policy stats.
+    """Run one trace through one store; returns metrics and policy stats.
 
-    ``sample_every`` (with ``occupancy``) records a namespace-occupancy
-    sample every N requests — the time axis of Figures 6c/6d.
+    Accepts a bare :class:`KVS` (wrapped in a :class:`Store` facade
+    internally) or a ready-built Store.  ``sample_every`` (with
+    ``occupancy``) records a namespace-occupancy sample every N requests
+    — the time axis of Figures 6c/6d.
     """
     if sample_every is not None and sample_every < 1:
         raise ConfigurationError(
             f"sample_every must be >= 1, got {sample_every}")
+    if isinstance(kvs, Store):
+        store = kvs
+    else:
+        store = Store(kvs)
+    kvs = store.kvs
     if occupancy is not None:
         kvs.add_listener(occupancy)
+    # each run gets fresh metrics (and leaves a passed-in Store's own
+    # metrics untouched), so repeated runs never blend their counters
+    previous_metrics = store.metrics
     metrics = SimulationMetrics()
+    store.metrics = metrics
+    # tally by enum member in the loop; stringify once afterwards
+    tallies: Dict[object, int] = {}
+    access = store.access
     started = time.perf_counter()
     index = 0
-    for record in trace:
-        hit = kvs.get(record.key)
-        metrics.record(record.key, record.size, record.cost, hit)
-        if not hit:
-            kvs.put(record.key, record.size, record.cost)
-        index += 1
-        if occupancy is not None and sample_every and index % sample_every == 0:
-            occupancy.sample(index)
+    try:
+        for record in trace:
+            result = access(record.key, record.size, record.cost)
+            outcome = result.outcome
+            tallies[outcome] = tallies.get(outcome, 0) + 1
+            index += 1
+            if occupancy is not None and sample_every \
+                    and index % sample_every == 0:
+                occupancy.sample(index)
+    finally:
+        store.metrics = previous_metrics
     elapsed = time.perf_counter() - started
+    outcome_counts = {outcome.name.lower(): count
+                      for outcome, count in tallies.items()}
     return SimulationResult(
         metrics=metrics,
         policy_stats=kvs.policy.stats(),
@@ -87,6 +113,7 @@ def simulate(kvs: KVS,
         rejected_admission=kvs.rejected_admission,
         wall_seconds=elapsed,
         occupancy=occupancy,
+        outcomes=outcome_counts,
     )
 
 

@@ -12,6 +12,12 @@ Keys whose prefix matches no tenant go to an optional ``default`` tenant
 (configure one with an empty-string share entry via ``default_tenant``);
 without one they are refused, which surfaces as a miss/NOT_STORED at the
 protocol level rather than an error, matching memcached's forgiving style.
+
+Every per-tenant engine routes its request path through the unified
+:class:`~repro.cache.store.Store` facade (see
+:mod:`repro.twemcache.engine`), so tenant requests share the same TTL
+handling and structured outcomes as the simulator; :meth:`get_or_compute`
+exposes the read-through contract per tenant.
 """
 
 from __future__ import annotations
@@ -140,6 +146,16 @@ class TenantedEngine:
     def touch_cost(self, key: str, cost: Number) -> bool:
         engine = self.engine_for(key)
         return engine.touch_cost(key, cost) if engine is not None else False
+
+    def get_or_compute(self, key: str, loader, expire_after: float = 0,
+                       cost: Optional[Number] = None
+                       ) -> Optional[StoredItem]:
+        """Read-through within the owning tenant's partition."""
+        engine = self.engine_for(key)
+        if engine is None:
+            return None
+        return engine.get_or_compute(key, loader,
+                                     expire_after=expire_after, cost=cost)
 
     def flush_all(self) -> None:
         for engine in self._engines.values():

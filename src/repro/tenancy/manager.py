@@ -25,6 +25,8 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cache.kvs import KVS
 from repro.cache.metrics import SimulationMetrics, default_namespace
+from repro.cache.outcomes import AccessResult, Outcome
+from repro.cache.store import Store
 from repro.core import make_policy
 from repro.core.policy import CacheItem, EvictionPolicy
 from repro.errors import ConfigurationError
@@ -106,6 +108,8 @@ class Tenant:
         self.ghost = GhostCache(ghost_bytes, max_entries=spec.ghost_entries)
         self.kvs.add_listener(_GhostFeeder(self.ghost))
         self.metrics = SimulationMetrics()
+        #: the partition's unified request facade (feeds ``metrics``)
+        self.store = Store(self.kvs, metrics=self.metrics)
 
     @property
     def name(self) -> str:
@@ -198,31 +202,45 @@ class TenantManager:
                 f"known: {sorted(self._tenants)}") from None
 
     # ------------------------------------------------------------------
-    # the request interface (mirrors KVS, plus the one-call combo)
+    # the request interface (mirrors the Store facade, plus shims)
     # ------------------------------------------------------------------
     def get(self, key: str) -> bool:
-        return self.route(key).kvs.get(key)
+        """Deprecated bool shim; use ``route(key).store.get``."""
+        return self.route(key).store.get(key).hit
 
     def put(self, key: str, size: int, cost: Number) -> bool:
-        return self.route(key).kvs.put(key, size, cost)
+        """Deprecated bool shim (True when the new pair was stored);
+        use ``route(key).store.put``."""
+        outcome = self.route(key).store.put(key, size, cost).outcome
+        return outcome is Outcome.MISS_INSERTED
 
     def delete(self, key: str) -> bool:
-        return self.route(key).kvs.delete(key)
+        return self.route(key).store.delete(key)
 
-    def access(self, key: str, size: int, cost: Number) -> bool:
+    def access(self, key: str, size: int, cost: Number,
+               ttl: Optional[float] = None) -> AccessResult:
         """One simulator step: look up, record metrics, insert on miss,
-        probe the ghost, and run the arbiter on window boundaries."""
+        probe the ghost, and run the arbiter on window boundaries.
+
+        Returns the structured result (truthy exactly on a HIT, so the
+        historical bool reading still works).
+        """
         tenant = self.route(key)
-        hit = tenant.kvs.get(key)
-        tenant.metrics.record(key, size, cost, hit)
-        if not hit:
+        result = tenant.store.get(key)
+        tenant.metrics.record(key, size, cost, result.hit)
+        if not result.hit:
+            # the ghost probe must see the pre-insert eviction history:
+            # this insert's own victims are not alternatives the missed
+            # key could have hit under a bigger partition
+            expired = result.expired
             tenant.ghost.record_miss(key, size, cost)
-            tenant.kvs.put(key, size, cost)
+            result = tenant.store.put(key, size, cost, ttl=ttl)
+            result.expired = expired
         self._accesses += 1
         if (self._rebalance_every
                 and self._accesses % self._rebalance_every == 0):
             self.rebalance()
-        return hit
+        return result
 
     # ------------------------------------------------------------------
     # arbitration

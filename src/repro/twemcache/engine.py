@@ -18,6 +18,13 @@ Twemcache's per-class LRU queues; within a class all chunks are the same
 size, so CAMP's cost-to-size ratios degenerate gracefully to cost ratios.
 Values are real ``bytes`` (the server stores and serves them), and every
 item is charged ``ITEM_HEADER_SIZE`` metadata like the C implementation.
+
+The request surface routes through the unified
+:class:`~repro.cache.store.Store` facade: :class:`_SlabBackend` adapts
+the four-step allocation path to the structured store protocol, and the
+engine's get/set/touch/delete become a thin memcached-protocol adapter
+over that Store — TTL classification and structured outcomes are shared
+with the simulator's KVS rather than re-implemented here.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Union
 
+from repro.cache.outcomes import Outcome
+from repro.cache.store import Store
 from repro.core.camp import CampPolicy
 from repro.core.lru import LruPolicy
 from repro.core.policy import EvictionPolicy
@@ -59,6 +68,94 @@ class StoredItem:
         return self.expire_at != 0 and now >= self.expire_at
 
 
+class _SlabBackend:
+    """The four-step slab allocation path behind the Store protocol.
+
+    Lets the engine's request surface share the facade's TTL handling
+    and structured outcomes while keeping slab mechanics (chunk
+    acquisition, calcification cures, per-class policies) local.
+    """
+
+    #: values (StoredItems) live in the engine's item table, not the Store
+    stores_values = True
+
+    def __init__(self, engine: "TwemcacheEngine") -> None:
+        self._engine = engine
+
+    def lookup(self, key: str) -> Outcome:
+        engine = self._engine
+        item = engine._items.get(key)
+        if item is None:
+            return Outcome.MISS
+        if item.expired(engine._clock()):
+            engine._forget(item)
+            return Outcome.EXPIRED
+        engine._policy_for_class(item.class_id).on_hit(key)
+        return Outcome.HIT
+
+    def insert(self, key: str, size: int, cost: Number,
+               ttl: Optional[float] = None, value: bytes = b"",
+               flags: int = 0) -> Outcome:
+        if value is None:
+            # metadata-only inserts (Store.access simulation traffic)
+            # must still yield a renderable item
+            value = b""
+        engine = self._engine
+        class_id = engine._allocator.class_for(size)
+        if class_id is None:
+            return Outcome.MISS_REJECTED_TOO_LARGE
+        existing = engine._items.get(key)
+        if existing is not None and existing.class_id == class_id:
+            # same class: free the old chunk first so the acquisition
+            # below can reuse it (in-place replacement)
+            engine._forget(existing)
+            existing = None
+        chunk = engine._acquire_chunk(class_id, key)
+        if chunk is None:
+            # rejected replacement: a cross-class old copy stays resident
+            return Outcome.MISS_REJECTED_TOO_LARGE
+        if existing is not None and engine._items.get(key) is existing:
+            # cross-class replacement; guard against the old copy having
+            # already been evicted by a random slab steal during
+            # acquisition (its chunk would be stale)
+            engine._forget(existing)
+        expire_at = engine._clock() + ttl if ttl else 0
+        item = StoredItem(key=key, value=value, flags=flags,
+                          expire_at=expire_at, cost=cost,
+                          chunk=chunk, class_id=class_id)
+        engine._items[key] = item
+        engine._policy_for_class(class_id).on_insert(key, size, cost)
+        return Outcome.MISS_INSERTED
+
+    def delete(self, key: str) -> bool:
+        engine = self._engine
+        item = engine._items.get(key)
+        if item is None:
+            return False
+        engine._forget(item)
+        return True
+
+    def touch(self, key: str, ttl: Optional[float] = None) -> bool:
+        engine = self._engine
+        item = engine._items.get(key)
+        if item is None or item.expired(engine._clock()):
+            return False
+        item.expire_at = engine._clock() + ttl if ttl else 0
+        return True
+
+    def value_of(self, key: str) -> Optional[StoredItem]:
+        return self._engine._items.get(key)
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        return self._engine.stats()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._engine._items
+
+    def __len__(self) -> int:
+        return len(self._engine._items)
+
+
 class TwemcacheEngine:
     """Slab-allocated KVS with pluggable per-class eviction."""
 
@@ -87,6 +184,10 @@ class TwemcacheEngine:
         # CAMP instances share one converter so ratios stay comparable
         self._converter = RatioConverter()
         self._lock = threading.RLock()
+        # the store shares the engine lock, so engine.store is exactly as
+        # thread-safe as the engine's own methods
+        self._store = Store(_SlabBackend(self), sizer=self._item_size,
+                            lock=self._lock)
         # counters
         self.hits = 0
         self.misses = 0
@@ -112,22 +213,17 @@ class TwemcacheEngine:
         return len(key) + len(value) + ITEM_HEADER_SIZE
 
     # ------------------------------------------------------------------
-    # public API (get / set / delete)
+    # public API (get / set / delete) — a thin adapter over the Store
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[StoredItem]:
         """Fetch a live item (expired items are lazily reclaimed)."""
         with self._lock:
-            item = self._items.get(key)
-            if item is None:
-                self.misses += 1
-                return None
-            if item.expired(self._clock()):
-                self._forget(item)
-                self.misses += 1
-                return None
-            self._policy_for_class(item.class_id).on_hit(key)
-            self.hits += 1
-            return item
+            result = self._store.get(key)
+            if result.hit:
+                self.hits += 1
+                return result.value
+            self.misses += 1
+            return None
 
     def set(self,
             key: str,
@@ -135,25 +231,17 @@ class TwemcacheEngine:
             flags: int = 0,
             expire_after: float = 0,
             cost: Number = 0) -> bool:
-        """Store a value; returns False only if it cannot fit any class."""
+        """Store a value; returns True only when the new pair was stored.
+
+        A rejected *replacement* returns False with the old copy still
+        resident (check ``store.put(...).outcome`` for the reason).
+        """
         with self._lock:
             size = self._item_size(key, value)
-            class_id = self._allocator.class_for(size)
-            if class_id is None:
-                return False
-            existing = self._items.get(key)
-            if existing is not None:
-                self._forget(existing)
-            chunk = self._acquire_chunk(class_id, key)
-            if chunk is None:
-                return False
-            expire_at = self._clock() + expire_after if expire_after else 0
-            item = StoredItem(key=key, value=value, flags=flags,
-                              expire_at=expire_at, cost=cost,
-                              chunk=chunk, class_id=class_id)
-            self._items[key] = item
-            self._policy_for_class(class_id).on_insert(key, size, cost)
-            return True
+            result = self._store.put(key, size, cost,
+                                     ttl=expire_after or None,
+                                     value=value, flags=flags)
+            return result.outcome is Outcome.MISS_INSERTED
 
     def add(self, key: str, value: bytes, **kwargs) -> bool:
         """Store only if the key is absent (memcached ``add``)."""
@@ -207,12 +295,7 @@ class TwemcacheEngine:
     def touch(self, key: str, expire_after: float) -> bool:
         """Reset a live item's expiry without transferring its value."""
         with self._lock:
-            item = self._items.get(key)
-            if item is None or item.expired(self._clock()):
-                return False
-            item.expire_at = self._clock() + expire_after if expire_after \
-                else 0
-            return True
+            return self._store.touch(key, expire_after or None)
 
     def flush_all(self) -> None:
         """Drop every item (memcached ``flush_all``)."""
@@ -222,11 +305,7 @@ class TwemcacheEngine:
 
     def delete(self, key: str) -> bool:
         with self._lock:
-            item = self._items.get(key)
-            if item is None:
-                return False
-            self._forget(item)
-            return True
+            return self._store.delete(key)
 
     def touch_cost(self, key: str, cost: Number) -> bool:
         """Update the recorded cost of a live item (IQ refresh)."""
@@ -325,6 +404,29 @@ class TwemcacheEngine:
     @property
     def allocator(self) -> SlabAllocator:
         return self._allocator
+
+    @property
+    def store(self) -> Store:
+        """The unified request facade this engine routes through."""
+        return self._store
+
+    def get_or_compute(self, key: str, loader, expire_after: float = 0,
+                       cost: Optional[Number] = None) -> Optional[StoredItem]:
+        """Read-through helper: return the live item or load-and-set.
+
+        ``loader(key)`` must return the value ``bytes``; its measured
+        wall time becomes the item's cost unless ``cost`` is given.
+        Returns the resident :class:`StoredItem`, or None when the
+        loaded value cannot be stored.
+        """
+        with self._lock:
+            result = self._store.get_or_compute(
+                key, loader, ttl=expire_after or None, cost=cost)
+            if result.hit:
+                self.hits += 1
+                return result.value
+            self.misses += 1
+            return self._items.get(key) if result.resident else None
 
     @property
     def eviction_kind(self) -> str:

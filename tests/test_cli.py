@@ -31,6 +31,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig5a" in out and "table1" in out
 
+    def test_policies_lists_every_registry_entry_with_kwargs(self, capsys):
+        from repro.core import policy_names
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in policy_names():
+            assert name in out
+        # registered kwargs are discoverable without reading source
+        assert "precision=5" in out          # camp
+        assert "shards=4" in out             # camp-sharded
+        assert "CampPolicy(" in out
+
     def test_run_table1(self, capsys):
         assert main(["run", "table1", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out

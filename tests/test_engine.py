@@ -54,6 +54,30 @@ class TestGetSetDelete:
         engine = small_engine(slab_size=1 << 12)
         assert not engine.set("k", b"x" * (1 << 13))
 
+    def test_too_large_replacement_keeps_old_value(self):
+        """A rejected overwrite must not report STORED nor drop the old
+        copy."""
+        engine = small_engine(slab_size=1 << 12)
+        assert engine.set("k", b"v" * 10)
+        assert not engine.set("k", b"x" * (1 << 13))   # no class fits
+        assert engine.get("k").value == b"v" * 10
+        engine.check_consistency()
+
+    def test_calcified_replacement_keeps_old_value(self):
+        """A replacement whose class cannot get a chunk leaves the
+        resident copy untouched (previously it was silently dropped)."""
+        engine = TwemcacheEngine(1 << 12, eviction="lru",
+                                 slab_size=1 << 12,
+                                 random_slab_eviction=False)
+        small = 60 - ITEM_HEADER_SIZE
+        assert engine.set("small0", b"s" * small)   # claims the only slab
+        big = whole_slab_value_len(engine, "small0")
+        # the big class owns no slabs and cannot get one: rejected,
+        # and the small old copy must survive the failed overwrite
+        assert not engine.set("small0", b"B" * big)
+        assert engine.get("small0").value == b"s" * small
+        engine.check_consistency()
+
     def test_touch_cost(self):
         engine = small_engine()
         engine.set("k", b"v", cost=1)
@@ -155,6 +179,58 @@ class TestEvictionPath:
         big = whole_slab_value_len(engine, "big")
         assert not engine.set("big", b"B" * big)   # stuck: calcified
         engine.check_consistency()
+
+
+class TestStoreFacadeRouting:
+    def test_engine_requests_route_through_a_store(self):
+        from repro.cache import Store
+        engine = small_engine()
+        assert isinstance(engine.store, Store)
+        engine.set("k", b"v", cost=5)
+        assert engine.store.get("k").hit
+        assert engine.store.get("k").value.value == b"v"
+
+    def test_get_or_compute_loads_once_and_serves_hits(self):
+        engine = small_engine(eviction="camp")
+        calls = []
+
+        def loader(key):
+            calls.append(key)
+            return b"rendered"
+
+        item = engine.get_or_compute("page:1", loader, cost=50)
+        assert item.value == b"rendered" and item.cost == 50
+        again = engine.get_or_compute("page:1", loader)
+        assert again.value == b"rendered"
+        assert calls == ["page:1"]
+        assert engine.hits == 1 and engine.misses == 1
+        engine.check_consistency()
+
+    def test_get_or_compute_respects_ttl(self):
+        clock = VirtualClock()
+        engine = small_engine(clock=clock)
+        engine.get_or_compute("k", lambda key: b"v1", expire_after=5)
+        clock.advance(6)
+        item = engine.get_or_compute("k", lambda key: b"v2")
+        assert item.value == b"v2"
+        engine.check_consistency()
+
+    def test_get_or_compute_measures_cost(self):
+        engine = small_engine()
+        item = engine.get_or_compute("k", lambda key: b"v")
+        assert item.cost > 0
+        engine.check_consistency()
+
+    def test_store_put_on_engine_requires_a_value(self):
+        """The slab backend holds real payloads: a put without a value
+        (and value-less put_many rows) must be refused, not stored
+        empty."""
+        engine = small_engine()
+        with pytest.raises(ConfigurationError):
+            engine.store.put("k", 100, 1)
+        with pytest.raises(ConfigurationError):
+            engine.store.put_many([("k", 100, 1)])
+        assert "k" not in engine
 
 
 class TestChurnConsistency:

@@ -116,6 +116,91 @@ class TestAdmission:
         assert admission.seen("a")
 
 
+class TestOverwriteRejection:
+    """Regression: a rejected replacement must keep the resident copy.
+
+    The old ``put`` deleted the existing key *before* the too-large and
+    admission checks, so a rejected replacement silently dropped the old
+    value.
+    """
+
+    def test_too_large_replacement_keeps_old_item(self):
+        kvs = KVS(50, LruPolicy())
+        assert kvs.put("a", 10, 7)
+        assert not kvs.put("a", 60, 1)     # can never fit
+        assert "a" in kvs
+        assert kvs.used_bytes == 10
+        item = kvs.peek("a")
+        assert item.size == 10 and item.cost == 7
+        assert kvs.rejected_too_large == 1
+        kvs.check_consistency()
+
+    def test_pool_rejected_replacement_keeps_old_item(self):
+        pools = pools_from_cost_values([1, 100], [0.5, 0.5])
+        kvs = KVS(100, PooledLruPolicy(100, pools))
+        assert kvs.put("a", 30, 1)
+        assert not kvs.put("a", 60, 1)     # larger than its pool
+        assert "a" in kvs and kvs.used_bytes == 30
+        kvs.check_consistency()
+
+    def test_admission_rejected_replacement_keeps_old_item(self):
+        class DenyAll:
+            def admit(self, key, size, cost):
+                return False
+
+            def on_access(self, key):
+                pass
+
+        kvs = KVS(100, LruPolicy())
+        assert kvs.put("a", 10, 1)
+        kvs._admission = DenyAll()
+        assert not kvs.put("a", 20, 2)
+        assert "a" in kvs and kvs.used_bytes == 10
+        assert kvs.rejected_admission == 1
+        kvs.check_consistency()
+
+
+class TestResize:
+    def test_shrink_evicts_through_policy(self):
+        kvs = KVS(100, LruPolicy())
+        for key in ("a", "b", "c"):
+            kvs.put(key, 30, 1)
+        evicted = kvs.resize(40)
+        assert [item.key for item in evicted] == ["a", "b"]
+        assert kvs.capacity == 40 and kvs.used_bytes == 30
+        kvs.check_consistency()
+
+    def test_grow_raises_ceiling_without_evictions(self):
+        kvs = KVS(30, LruPolicy())
+        for key in ("a", "b", "c"):
+            kvs.put(key, 10, 1)
+        assert kvs.resize(100) == []
+        assert kvs.capacity == 100
+        assert kvs.eviction_count == 0
+        assert len(kvs) == 3
+        # the new headroom is immediately usable
+        assert kvs.put("big", 60, 1)
+        assert kvs.used_bytes == 90
+        kvs.check_consistency()
+
+    def test_grow_notifies_no_listeners(self):
+        events = []
+
+        class Recorder:
+            def on_insert(self, item):
+                events.append(("insert", item.key))
+
+            def on_evict(self, item, explicit):
+                events.append(("evict", item.key))
+
+        kvs = KVS(30, LruPolicy())
+        kvs.add_listener(Recorder())
+        kvs.put("a", 10, 1)
+        events.clear()
+        kvs.resize(100)
+        assert events == []
+
+
 class TestListeners:
     def test_insert_and_evict_events(self):
         events = []
@@ -136,6 +221,47 @@ class TestListeners:
         assert ("insert", "a") in events
         assert ("evict", "a", False) in events
         assert ("evict", "b", True) in events
+
+    def test_listeners_notified_in_registration_order(self):
+        calls = []
+
+        class Ordered:
+            def __init__(self, tag):
+                self._tag = tag
+
+            def on_insert(self, item):
+                calls.append((self._tag, "insert", item.key))
+
+            def on_evict(self, item, explicit):
+                calls.append((self._tag, "evict", item.key))
+
+        kvs = KVS(20, LruPolicy())
+        kvs.add_listener(Ordered("first"))
+        kvs.add_listener(Ordered("second"))
+        kvs.put("a", 10, 1)
+        kvs.put("b", 15, 1)    # evicts "a"
+        assert calls == [
+            ("first", "insert", "a"), ("second", "insert", "a"),
+            ("first", "evict", "a"), ("second", "evict", "a"),
+            ("first", "insert", "b"), ("second", "insert", "b"),
+        ]
+
+    def test_resize_eviction_order_notifies_listeners_per_victim(self):
+        order = []
+
+        class Recorder:
+            def on_insert(self, item):
+                pass
+
+            def on_evict(self, item, explicit):
+                order.append((item.key, explicit))
+
+        kvs = KVS(100, LruPolicy())
+        kvs.add_listener(Recorder())
+        for key in ("a", "b", "c"):
+            kvs.put(key, 30, 1)
+        kvs.resize(35)
+        assert order == [("a", False), ("b", False)]
 
 
 class TestEveryPolicyThroughKvs:

@@ -1,0 +1,372 @@
+"""Store facade tests: structured outcomes, read-through, TTL, batches."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    KVS,
+    AccessResult,
+    Computed,
+    Outcome,
+    Store,
+    StoreConfig,
+)
+from repro.core import LruPolicy, SecondHitAdmission, make_policy
+from repro.core.concurrent import ThreadSafePolicy
+from repro.errors import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def lru_store(capacity=100, **kwargs):
+    return Store(KVS(capacity, LruPolicy(), **kwargs))
+
+
+class TestOutcomes:
+    def test_get_miss_then_access_inserts_then_hit(self):
+        store = lru_store()
+        assert store.get("a").outcome is Outcome.MISS
+        first = store.access("a", 10, 1)
+        assert first.outcome is Outcome.MISS_INSERTED
+        assert first.resident and not first.hit
+        assert store.get("a").outcome is Outcome.HIT
+
+    def test_truthiness_means_hit(self):
+        store = lru_store()
+        assert not store.access("a", 10, 1)
+        assert store.access("a", 10, 1)
+
+    def test_put_too_large_rejected(self):
+        store = lru_store(capacity=20)
+        result = store.put("huge", 21, 1)
+        assert result.outcome is Outcome.MISS_REJECTED_TOO_LARGE
+        assert result.rejected and not result.resident
+
+    def test_put_rejected_by_admission(self):
+        store = Store(KVS(100, LruPolicy(),
+                          admission=SecondHitAdmission(window=8)))
+        result = store.put("a", 10, 1)
+        assert result.outcome is Outcome.MISS_REJECTED_ADMISSION
+        assert store.put("a", 10, 1).outcome is Outcome.MISS_INSERTED
+
+    def test_rejected_replacement_keeps_old_copy_resident(self):
+        store = lru_store(capacity=30)
+        assert store.put("a", 10, 1, value=b"old").resident
+        result = store.put("a", 50, 1, value=b"new")
+        assert result.outcome is Outcome.MISS_REJECTED_TOO_LARGE
+        assert result.resident      # the OLD copy is still there
+        assert store.get("a").value == b"old"
+        store.check_consistency()
+
+
+class TestReadThrough:
+    def test_loader_runs_once_and_value_is_memoized(self):
+        store = lru_store()
+        calls = []
+
+        def loader(key):
+            calls.append(key)
+            return b"payload"
+
+        first = store.get_or_compute("k", loader)
+        assert first.outcome is Outcome.MISS_INSERTED
+        assert first.value == b"payload"
+        assert first.size == len(b"payload")
+        second = store.get_or_compute("k", loader)
+        assert second.hit and second.value == b"payload"
+        assert calls == ["k"]
+
+    def test_cost_is_measured_from_the_loader(self):
+        store = lru_store()
+        result = store.get_or_compute("k", lambda key: b"x")
+        assert result.cost > 0                      # wall seconds
+        assert store.kvs.peek("k").cost == result.cost
+
+    def test_computed_overrides_size_cost_ttl(self):
+        clock = FakeClock()
+        store = lru_store(clock=clock)
+        result = store.get_or_compute(
+            "k", lambda key: Computed(value=b"v", size=42, cost=777, ttl=5))
+        assert result.size == 42 and result.cost == 777
+        clock.advance(6)
+        assert store.get("k").outcome is Outcome.EXPIRED
+
+    def test_explicit_kwargs_beat_computed_fields(self):
+        store = lru_store()
+        result = store.get_or_compute(
+            "k", lambda key: Computed(value=b"v", size=42, cost=777),
+            size=10, cost=5)
+        assert result.size == 10 and result.cost == 5
+
+    def test_unsizable_value_raises_without_sizer(self):
+        store = lru_store()
+        with pytest.raises(ConfigurationError):
+            store.get_or_compute("k", lambda key: object())
+
+    def test_sizer_sizes_opaque_values(self):
+        store = Store(KVS(100, LruPolicy()), sizer=lambda key, value: 7)
+        result = store.get_or_compute("k", lambda key: object())
+        assert result.size == 7 and result.resident
+
+    def test_rejected_compute_still_returns_the_value(self):
+        store = lru_store(capacity=10)
+        result = store.get_or_compute("k", lambda key: b"x" * 50)
+        assert result.outcome is Outcome.MISS_REJECTED_TOO_LARGE
+        assert result.value == b"x" * 50
+
+    def test_expired_flag_set_on_recompute(self):
+        clock = FakeClock()
+        store = lru_store(clock=clock)
+        store.get_or_compute("k", lambda key: b"v", ttl=5)
+        clock.advance(6)
+        result = store.get_or_compute("k", lambda key: b"v2")
+        assert result.outcome is Outcome.MISS_INSERTED
+        assert result.expired
+        assert result.value == b"v2"
+
+
+class TestTtl:
+    def test_expiry_reads_as_expired_then_miss(self):
+        clock = FakeClock()
+        store = lru_store(clock=clock)
+        store.put("k", 10, 1, ttl=5)
+        assert store.get("k").hit
+        clock.advance(5)
+        assert store.get("k").outcome is Outcome.EXPIRED
+        assert store.get("k").outcome is Outcome.MISS
+        assert store.kvs.expired_count == 1
+        store.kvs.check_consistency()
+
+    def test_touch_extends_and_clears_ttl(self):
+        clock = FakeClock()
+        store = lru_store(clock=clock)
+        store.put("k", 10, 1, ttl=5)
+        assert store.touch("k", 50)
+        clock.advance(10)
+        assert store.get("k").hit
+        assert store.touch("k", None)      # never expire
+        clock.advance(10 ** 6)
+        assert store.get("k").hit
+        assert not store.touch("ghost", 5)
+
+    def test_expiry_notifies_listeners_as_explicit(self):
+        """Lifecycle expiry must not look like capacity pressure."""
+        events = []
+
+        class Recorder:
+            def on_insert(self, item):
+                pass
+
+            def on_evict(self, item, explicit):
+                events.append((item.key, explicit))
+
+        clock = FakeClock()
+        kvs = KVS(100, LruPolicy(), clock=clock)
+        kvs.add_listener(Recorder())
+        kvs.insert("k", 10, 1, ttl=5)
+        clock.advance(6)
+        kvs.lookup("k")
+        assert events == [("k", True)]
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        kvs = KVS(100, LruPolicy(), clock=clock)
+        for i in range(4):
+            kvs.insert(f"k{i}", 10, 1, ttl=5)
+        kvs.insert("stay", 10, 1)
+        clock.advance(6)
+        assert kvs.purge_expired(limit=3) == 3
+        assert kvs.purge_expired() == 1
+        assert len(kvs) == 1 and "stay" in kvs
+        kvs.check_consistency()
+
+
+class TestValueMemoization:
+    def test_value_dropped_after_eviction(self):
+        store = lru_store(capacity=20)
+        store.put("a", 10, 1, value=b"va")
+        store.put("b", 10, 1, value=b"vb")
+        store.put("c", 10, 1, value=b"vc")    # evicts "a"
+        assert "a" not in store
+        assert store._values.keys() == {"b", "c"}
+        store.check_consistency()
+
+    def test_value_dropped_on_delete(self):
+        store = lru_store()
+        store.put("a", 10, 1, value=b"va")
+        assert store.delete("a")
+        assert store.get("a").value is None
+        store.check_consistency()
+
+
+class TestBatches:
+    def test_get_many_counts_match_looped_gets(self):
+        store = lru_store(capacity=1000)
+        for i in range(10):
+            store.put(f"k{i}", 10, 1)
+        keys = [f"k{i}" for i in range(15)]
+        batch = store.get_many(keys)
+        assert len(batch) == 15
+        assert batch.hits == 10 and batch.misses == 5
+        assert list(batch)[:2] == [Outcome.HIT, Outcome.HIT]
+
+    def test_put_many_outcomes(self):
+        store = lru_store(capacity=100)
+        batch = store.put_many([("a", 10, 1), ("b", 200, 1), ("c", 10, 1)])
+        assert batch.outcomes == [Outcome.MISS_INSERTED,
+                                  Outcome.MISS_REJECTED_TOO_LARGE,
+                                  Outcome.MISS_INSERTED]
+        assert batch.inserted == 2 and batch.rejected == 1
+
+    def test_put_many_accepts_ttl_rows(self):
+        clock = FakeClock()
+        store = lru_store(clock=clock)
+        store.put_many([("a", 10, 1, 5), ("b", 10, 1)])
+        clock.advance(6)
+        assert store.get("a").outcome is Outcome.EXPIRED
+        assert store.get("b").hit
+
+    def test_batch_under_thread_safe_wrapper(self):
+        store = (StoreConfig(1000).policy("camp", precision=5)
+                 .thread_safe().build())
+        assert isinstance(store.kvs.policy, ThreadSafePolicy)
+        store.put_many([(f"k{i}", 10, i + 1) for i in range(50)])
+        batch = store.get_many([f"k{i}" for i in range(50)])
+        assert batch.hits + batch.misses == 50
+        store.check_consistency()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 40),
+                          st.sampled_from([1, 100, 10_000])),
+                min_size=1, max_size=120),
+       st.integers(60, 300),
+       st.sampled_from(["camp", "lru", "gdsf"]),
+       st.integers(1, 7))
+def test_put_many_equals_sequential_puts(requests, capacity, policy_name,
+                                         chunk):
+    """Batched and sequential inserts are the same algorithm: identical
+    residency and eviction counts for CAMP, LRU and GDSF."""
+    sequential = Store(KVS(capacity, make_policy(policy_name, capacity)))
+    batched = Store(KVS(capacity, make_policy(policy_name, capacity)))
+    entries = [(f"k{key_id}", size, cost)
+               for key_id, size, cost in requests]
+    seq_outcomes = [sequential.put(*entry).outcome for entry in entries]
+    batch_outcomes = []
+    for start in range(0, len(entries), chunk):
+        batch_outcomes.extend(
+            batched.put_many(entries[start:start + chunk]).outcomes)
+    assert seq_outcomes == batch_outcomes
+    assert sorted(item.key for item in sequential.kvs.resident_items()) == \
+        sorted(item.key for item in batched.kvs.resident_items())
+    assert sequential.kvs.eviction_count == batched.kvs.eviction_count
+    sequential.check_consistency()
+    batched.check_consistency()
+
+
+class TestStoreConfig:
+    def test_policy_by_name_with_kwargs(self):
+        store = StoreConfig(500).policy("camp", precision=3).build()
+        assert store.kvs.policy.precision == 3
+
+    def test_policy_instance(self):
+        policy = LruPolicy()
+        store = StoreConfig(500).policy(policy).build()
+        assert store.kvs.policy is policy
+
+    def test_policy_instance_rejects_kwargs(self):
+        with pytest.raises(ConfigurationError):
+            StoreConfig(500).policy(LruPolicy(), precision=3)
+
+    def test_admission_item_overhead_listeners_metrics(self):
+        events = []
+
+        class Recorder:
+            def on_insert(self, item):
+                events.append(item.key)
+
+            def on_evict(self, item, explicit):
+                pass
+
+        store = (StoreConfig(500)
+                 .policy("lru")
+                 .admission(SecondHitAdmission(window=4))
+                 .item_overhead(5)
+                 .listener(Recorder())
+                 .track_metrics()
+                 .build())
+        assert store.put("a", 10, 1).outcome is Outcome.MISS_REJECTED_ADMISSION
+        store.put("a", 10, 1)
+        assert events == ["a"]
+        assert store.kvs.used_bytes == 15
+        store.access("a", 10, 1)
+        store.access("a", 10, 1)
+        assert store.metrics.hits == 1      # first access was cold
+
+    def test_clock_feeds_ttl(self):
+        clock = FakeClock()
+        store = StoreConfig(500).policy("lru").clock(clock).build()
+        store.put("k", 10, 1, ttl=2)
+        clock.advance(3)
+        assert store.get("k").outcome is Outcome.EXPIRED
+
+
+class TestSimulatorIntegration:
+    def test_simulate_accepts_a_store_and_reports_outcomes(self):
+        from repro.sim import simulate
+        from repro.workloads import three_cost_trace
+        trace = three_cost_trace(n_keys=50, n_requests=500, seed=3)
+        store = (StoreConfig(trace.capacity_for_ratio(0.25))
+                 .policy("camp").build())
+        result = simulate(store, trace)
+        assert sum(result.outcomes.values()) == 500
+        assert set(result.outcomes) <= {
+            "hit", "miss_inserted", "miss_rejected_too_large",
+            "miss_rejected_admission", "expired"}
+        assert result.metrics.requests == 500
+
+    def test_simulate_runs_do_not_blend_metrics(self):
+        """Each simulate() call gets fresh metrics, even on a reused
+        Store, and a passed-in Store's own metrics stay untouched."""
+        from repro.sim import simulate
+        from repro.workloads import three_cost_trace
+        trace = three_cost_trace(n_keys=50, n_requests=500, seed=3)
+        store = (StoreConfig(trace.capacity_for_ratio(0.25))
+                 .policy("lru").track_metrics().build())
+        own_metrics = store.metrics
+        first = simulate(store, trace)
+        second = simulate(store, trace)
+        assert first.metrics.requests == 500
+        assert second.metrics.requests == 500       # not 1000
+        assert store.metrics is own_metrics
+        assert own_metrics.requests == 0
+
+    def test_manager_put_shim_reports_false_on_rejected_replacement(self):
+        from repro.tenancy import TenantManager, TenantSpec
+        manager = TenantManager(1_000, [TenantSpec("a", floor=0.1)],
+                                rebalance_every=None)
+        assert manager.put("a:k", 10, 1)
+        assert not manager.put("a:k", 5_000, 1)     # can never fit
+        assert manager.get("a:k")                   # old copy still served
+
+    def test_tenant_manager_access_returns_structured_result(self):
+        from repro.tenancy import TenantManager, TenantSpec
+        manager = TenantManager(
+            10_000, [TenantSpec("a", floor=0.1), TenantSpec("b", floor=0.1)],
+            rebalance_every=None)
+        result = manager.access("a:k1", 100, 5)
+        assert isinstance(result, AccessResult)
+        assert result.outcome is Outcome.MISS_INSERTED
+        assert not result          # miss: falsy, like the old bool
+        assert manager.access("a:k1", 100, 5).hit
+        manager.check_consistency()

@@ -1,0 +1,40 @@
+"""Repo-tooling guards that keep the test/benchmark layout collectable.
+
+``tests/`` and ``benchmarks/`` are collected in one pytest run without
+package ``__init__`` files, so two test modules sharing a basename break
+collection with an import-file-mismatch error.  This guard makes the
+clash a loud, attributable failure instead of a confusing one.
+"""
+
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_no_test_basename_clash_between_tests_and_benchmarks():
+    test_names = {path.name for path in (REPO / "tests").glob("test_*.py")}
+    bench_names = {path.name
+                   for path in (REPO / "benchmarks").glob("test_*.py")}
+    clashes = sorted(test_names & bench_names)
+    assert not clashes, (
+        f"test module basenames duplicated across tests/ and benchmarks/ "
+        f"break pytest collection: {clashes}; rename one side "
+        f"(see tests/test_tenancy_subsystem.py vs benchmarks/test_tenancy.py)")
+
+
+def test_all_test_basenames_unique_repo_wide():
+    seen = {}
+    for directory in ("tests", "benchmarks"):
+        for path in sorted((REPO / directory).glob("test_*.py")):
+            assert path.name not in seen, (
+                f"{path} duplicates {seen[path.name]}")
+            seen[path.name] = path
+
+
+def test_ci_workflow_runs_tier1_and_bench_smoke():
+    workflow = REPO / ".github" / "workflows" / "ci.yml"
+    text = workflow.read_text(encoding="utf-8")
+    assert "pytest" in text
+    assert "REPRO_BENCH_SCALE=tiny" in text, (
+        "CI lost the benchmark smoke job; the perf harness can rot "
+        "silently without it")
