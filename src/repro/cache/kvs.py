@@ -99,6 +99,15 @@ class KVS:
         for listener in self._listeners:
             listener.on_evict(item, explicit)
 
+    def _notify_touch(self, item: CacheItem) -> None:
+        """TTL reset on a live key.  ``on_touch`` is an *optional* hook —
+        only durability listeners care, so the protocol keeps it off the
+        required surface and dispatch skips listeners without it."""
+        for listener in self._listeners:
+            on_touch = getattr(listener, "on_touch", None)
+            if on_touch is not None:
+                on_touch(item)
+
     # ------------------------------------------------------------------
     # the structured request interface
     # ------------------------------------------------------------------
@@ -185,7 +194,9 @@ class KVS:
             self._expired += 1
             return False
         expire_at = now + ttl if ttl else 0.0
-        self._items[key] = dataclass_replace(item, expire_at=expire_at)
+        refreshed = dataclass_replace(item, expire_at=expire_at)
+        self._items[key] = refreshed
+        self._notify_touch(refreshed)
         return True
 
     def peek(self, key: str) -> Optional[CacheItem]:
@@ -291,6 +302,43 @@ class KVS:
             self._notify_evict(victim, explicit=False)
         return evicted
 
+    def restore(self, items: Iterable[CacheItem],
+                policy_state: Dict[str, object]) -> List[CacheItem]:
+        """Install a durable snapshot into this (empty) store.
+
+        The policy state is imported first — it must list exactly the
+        snapshot's items — then each item is installed verbatim (sizes
+        are already overhead-charged; expiry rebasing is the snapshot
+        layer's job) and listeners see it as an insert.  If the snapshot
+        was taken at a larger capacity than this store now has, the
+        policy evicts down to fit; the evicted items are returned so the
+        caller can account for them.
+        """
+        if self._items:
+            raise ConfigurationError(
+                f"restore requires an empty store; {len(self._items)} "
+                f"items are resident")
+        self._policy.import_state(policy_state)
+        for item in items:
+            if item.key in self._items:
+                raise ConfigurationError(
+                    f"snapshot lists {item.key!r} twice")
+            self._items[item.key] = item
+            self._used += item.size
+            self._notify_insert(item)
+        if len(self._policy) != len(self._items):
+            raise ConfigurationError(
+                "snapshot policy state disagrees with its item set")
+        evicted: List[CacheItem] = []
+        while self._used > self._capacity:
+            victim_key = self._policy.pop_victim()
+            victim = self._items.pop(victim_key)
+            self._used -= victim.size
+            self._evictions += 1
+            evicted.append(victim)
+            self._notify_evict(victim, explicit=False)
+        return evicted
+
     def delete(self, key: str) -> bool:
         """Explicitly remove a key; True when it was resident."""
         item = self._items.pop(key, None)
@@ -327,6 +375,11 @@ class KVS:
     @property
     def policy(self) -> EvictionPolicy:
         return self._policy
+
+    @property
+    def item_overhead(self) -> int:
+        """Bytes charged per item on top of its value size."""
+        return self._overhead
 
     @property
     def clock(self) -> Callable[[], float]:

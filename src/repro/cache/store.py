@@ -110,6 +110,14 @@ class Store:
         self._lock = lock if lock is not None else _NO_LOCK
         self._values: Dict[str, object] = {}
         self._reaping = False
+        self._persistence = None
+        #: keys a warm restart left metadata-resident with their payload
+        #: lost (log-replayed inserts); get_or_compute recomputes these
+        #: once and re-memoizes.  Set by StoreConfig.persistence wiring.
+        self._lost_values: set = set()
+        #: RecoveryReport of the warm start that built this store (None
+        #: for cold builds); set by StoreConfig.persistence wiring
+        self.last_recovery = None
         self.metrics = metrics
 
     # ------------------------------------------------------------------
@@ -205,9 +213,25 @@ class Store:
                 item_cost = item.cost if item is not None else 0.0
                 if self.metrics is not None:
                     self.metrics.record(key, item_size, item_cost, True)
+                value = self._value_of(key)
+                if value is None and key in self._lost_values:
+                    # a warm restart's AOL replay rebuilt this key's
+                    # residency without its payload (the log records
+                    # metadata only); honour the "value is always usable"
+                    # contract by recomputing once and re-memoizing,
+                    # while residency/policy still count a hit.  Keys
+                    # that never had a value (metadata-only callers,
+                    # negative-caching loaders) are not in the set and
+                    # keep the plain HIT-with-None behaviour.
+                    self._lost_values.discard(key)
+                    loaded = loader(key)
+                    value = loaded.value if isinstance(loaded, Computed) \
+                        else loaded
+                    if value is not None:
+                        self._memoize(key, value)
                 return AccessResult(key, outcome, size=item_size,
                                     cost=item_cost,
-                                    value=self._value_of(key), resident=True)
+                                    value=value, resident=True)
             expired = outcome is Outcome.EXPIRED
             started = time.perf_counter()
             loaded = loader(key)
@@ -325,6 +349,48 @@ class Store:
         return peek(key) if peek is not None else None
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def persistence(self):
+        """The attached :class:`~repro.persistence.PersistenceManager`
+        (None unless the store was built with ``.persistence(...)``)."""
+        return self._persistence
+
+    def attach_persistence(self, manager) -> None:
+        """Adopt a persistence manager (normally done by StoreConfig)."""
+        self._persistence = manager
+
+    def snapshot_payloads(self) -> Dict[str, bytes]:
+        """Memoized values that can ride along in a snapshot (bytes
+        only — arbitrary loader objects are cache-local by design)."""
+        with self._lock:
+            return self._snapshot_payloads_unlocked()
+
+    def _snapshot_payloads_unlocked(self) -> Dict[str, bytes]:
+        """Lock-free variant handed to the persistence manager as its
+        payload source: the manager only calls it on paths where this
+        store's lock is already held (``save()``, or auto-compaction
+        fired from inside a locked mutation) — re-acquiring would
+        deadlock a non-reentrant lock."""
+        return {key: bytes(value)
+                for key, value in self._values.items()
+                if isinstance(value, (bytes, bytearray))}
+
+    def save(self) -> int:
+        """Write a snapshot generation now; returns its number.
+
+        Requires the store to have been built with persistence
+        configured (``StoreConfig.persistence(...)``).
+        """
+        if self._persistence is None:
+            raise ConfigurationError(
+                "this store has no persistence configured; build it with "
+                "StoreConfig.persistence(...)")
+        with self._lock:
+            return self._persistence.snapshot()
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
@@ -382,6 +448,8 @@ class StoreConfig:
         self._metrics: Optional[SimulationMetrics] = None
         self._sizer: Optional[Callable[[str, object], int]] = None
         self._lock: Optional[object] = None
+        self._persistence_config: Optional[object] = None
+        self._recover = True
 
     def policy(self, policy: Union[str, EvictionPolicy],
                **kwargs: object) -> "StoreConfig":
@@ -441,6 +509,26 @@ class StoreConfig:
         self._lock = lock
         return self
 
+    def persistence(self, directory: str, fsync: str = "never",
+                    fsync_every: int = 64,
+                    compact_ratio: Optional[float] = 4.0,
+                    keep_generations: int = 2,
+                    snapshot_payloads: bool = True,
+                    recover: bool = True) -> "StoreConfig":
+        """Make the store durable: mutations append to an operation log
+        under ``directory``, ``store.save()`` writes atomic snapshot
+        generations, and — with ``recover`` (the default) — ``build()``
+        warm-starts from whatever healthy state the directory holds,
+        restoring items *and* eviction-policy priorities.
+        """
+        from repro.persistence import PersistenceConfig
+        self._persistence_config = PersistenceConfig(
+            directory=directory, fsync=fsync, fsync_every=fsync_every,
+            compact_ratio=compact_ratio, keep_generations=keep_generations,
+            snapshot_payloads=snapshot_payloads)
+        self._recover = recover
+        return self
+
     def build(self) -> Store:
         if self._policy_instance is not None:
             policy = self._policy_instance
@@ -453,5 +541,43 @@ class StoreConfig:
                   item_overhead=self._item_overhead, clock=self._clock)
         for listener in self._listeners:
             kvs.add_listener(listener)
-        return Store(kvs, metrics=self._metrics, sizer=self._sizer,
-                     lock=self._lock)
+        store = Store(kvs, metrics=self._metrics, sizer=self._sizer,
+                      lock=self._lock)
+        if self._persistence_config is not None:
+            self._wire_persistence(store, kvs)
+        return store
+
+    def _wire_persistence(self, store: Store, kvs: KVS) -> None:
+        """Recover (before the op logger attaches, so restored items are
+        not re-logged), then start logging into the state directory.
+
+        The manager is told which generation the live state actually
+        corresponds to (the recovered one, or 0 for a cold build): if a
+        corrupt newest snapshot forced recovery to fall back — or
+        ``recover=False`` skipped it over existing state — the manager
+        opens a *fresh* generation rather than appending mutations to a
+        log no future recovery would pair with this state.
+        """
+        from repro.persistence import PersistenceManager, RecoveryManager
+        # fail at build, not at the first save (or worse, mid-put when
+        # auto-compaction fires): the policy must support state export
+        kvs.policy.export_state()
+        synced = 0
+        if self._recover:
+            report = RecoveryManager(
+                self._persistence_config.directory).recover_into(kvs)
+            for key, payload in report.payloads.items():
+                store._memoize(key, payload)
+            store.last_recovery = report
+            synced = report.generation
+            # keys whose payload did not survive (log-replayed inserts,
+            # or snapshot rows saved without values): get_or_compute
+            # reloads these once instead of handing back a None value
+            store._lost_values = {
+                item.key for item in kvs.resident_items()
+            } - set(report.payloads)
+        manager = PersistenceManager(
+            kvs, self._persistence_config,
+            payload_source=store._snapshot_payloads_unlocked,
+            synced_generation=synced)
+        store.attach_persistence(manager)

@@ -10,6 +10,10 @@ Subcommands:
   equi-size / bg / phased)
 * ``simulate``    — run one policy over a trace file at a cache size ratio
 * ``serve``       — start the Twemcache-like server on a TCP port
+* ``persist``     — durable state directories: ``save`` (simulate a trace
+  into a durable store and snapshot it), ``restore`` (recover + report),
+  ``inspect`` (generations, log health), ``compact`` (fold the log into
+  a fresh snapshot generation)
 """
 
 from __future__ import annotations
@@ -99,6 +103,34 @@ def build_parser() -> argparse.ArgumentParser:
                              help="emit CSV instead of aligned tables")
     tenancy_cmd.add_argument("--chart", action="store_true",
                              help="also draw the allocation timeline")
+
+    persist_cmd = sub.add_parser(
+        "persist",
+        help="durable state directories: save / restore / inspect / compact")
+    persist_sub = persist_cmd.add_subparsers(dest="persist_command",
+                                             required=True)
+    p_save = persist_sub.add_parser(
+        "save", help="simulate a trace into a durable store, then snapshot")
+    p_save.add_argument("trace", help="trace file path")
+    p_save.add_argument("state_dir", help="state directory to write")
+    p_save.add_argument("--policy", default="camp",
+                        choices=sorted(policy_names()))
+    p_save.add_argument("--ratio", type=float, default=0.25,
+                        help="cache size ratio (default 0.25)")
+    p_save.add_argument("--fsync", default="never",
+                        choices=("always", "batch", "never"),
+                        help="operation-log fsync policy")
+    p_save.add_argument("--cold", action="store_true",
+                        help="ignore existing state (default warm-continues)")
+    p_restore = persist_sub.add_parser(
+        "restore", help="recover a store from a state directory")
+    p_restore.add_argument("state_dir", help="state directory to read")
+    p_inspect = persist_sub.add_parser(
+        "inspect", help="describe a state directory's generations and log")
+    p_inspect.add_argument("state_dir", help="state directory to read")
+    p_compact = persist_sub.add_parser(
+        "compact", help="fold the operation log into a fresh snapshot")
+    p_compact.add_argument("state_dir", help="state directory to rewrite")
 
     compare_cmd = sub.add_parser(
         "compare", help="run several policies over one trace, side by side")
@@ -273,6 +305,103 @@ def _cmd_tenancy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_persist(args: argparse.Namespace) -> int:
+    if args.persist_command == "save":
+        return _persist_save(args)
+    if args.persist_command == "restore":
+        return _persist_restore(args)
+    if args.persist_command == "inspect":
+        return _persist_inspect(args)
+    return _persist_compact(args)
+
+
+def _persist_save(args: argparse.Namespace) -> int:
+    from repro.cache.store import StoreConfig
+    trace = read_trace(args.trace)
+    capacity = trace.capacity_for_ratio(args.ratio)
+    store = (StoreConfig(capacity)
+             .policy(args.policy)
+             .persistence(args.state_dir, fsync=args.fsync,
+                          recover=not args.cold)
+             .build())
+    recovery = store.last_recovery
+    if recovery is not None and recovery.recovered:
+        print(f"warm-continuing from generation {recovery.generation} "
+              f"({recovery.items_restored} items)")
+    for record in trace:
+        store.access(record.key, record.size, record.cost)
+    generation = store.save()
+    store.persistence.close()
+    stats = store.stats()
+    print(f"simulated {len(trace)} requests "
+          f"({args.policy}, ratio {args.ratio}, {capacity} bytes)")
+    print(f"snapshot generation {generation} in {args.state_dir} "
+          f"({int(stats['items'])} items, {int(stats['used_bytes'])} bytes "
+          f"resident)")
+    return 0
+
+
+def _persist_restore(args: argparse.Namespace) -> int:
+    from repro.persistence import RecoveryManager
+    kvs, report = RecoveryManager(args.state_dir).recover()
+    print(f"recovered generation {report.generation} "
+          f"from {report.snapshot_path}")
+    for name, value in sorted(report.summary().items()):
+        print(f"  {name:22s}: {value}")
+    print(f"policy            : {kvs.policy.name}")
+    for name, value in sorted(kvs.stats().items()):
+        print(f"  {name:22s}: {value}")
+    return 0
+
+
+def _persist_inspect(args: argparse.Namespace) -> int:
+    from repro.persistence import (load_snapshot, log_path_for, read_log,
+                                   snapshot_generations)
+    from repro.persistence.snapshot import Snapshotter
+    generations = snapshot_generations(args.state_dir)
+    if not generations:
+        print(f"no snapshots in {args.state_dir}")
+    snapshotter = Snapshotter(args.state_dir)
+    for generation in generations:
+        path = snapshotter.path_for(generation)
+        size = path.stat().st_size
+        try:
+            data = load_snapshot(path)
+        except ReproError as exc:
+            print(f"generation {generation}: CORRUPT ({exc})")
+            continue
+        policy = data.policy_state.get("policy")
+        print(f"generation {generation}: {data.item_count} items, "
+              f"{size} bytes, policy {policy}, "
+              f"capacity {data.capacity}, {len(data.payloads)} payloads")
+    for generation in generations or [0]:
+        log_path = log_path_for(args.state_dir, generation)
+        if not log_path.exists():
+            continue
+        operations, clean, valid_bytes = read_log(log_path)
+        tail = "clean" if clean else f"TORN after {valid_bytes} bytes"
+        print(f"log for generation {generation}: {len(operations)} "
+              f"operations, {tail}")
+    return 0
+
+
+def _persist_compact(args: argparse.Namespace) -> int:
+    from repro.persistence import (PersistenceConfig, PersistenceManager,
+                                   RecoveryManager, read_log, log_path_for)
+    recovery_manager = RecoveryManager(args.state_dir)
+    kvs, report = recovery_manager.recover()
+    folded = report.log_records_replayed
+    manager = PersistenceManager(
+        kvs, PersistenceConfig(directory=args.state_dir))
+    generation = manager.snapshot()
+    manager.close()
+    remaining = len(read_log(log_path_for(args.state_dir, generation))[0])
+    print(f"compacted {args.state_dir}: folded {folded} log operations "
+          f"into generation {generation} ({report.items_restored + folded} "
+          f"items considered); fresh log has {remaining} operations")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import Table
     from repro.sim import sweep_cache_sizes
@@ -313,6 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_analyze(args)
         if args.command == "tenancy":
             return _cmd_tenancy(args)
+        if args.command == "persist":
+            return _cmd_persist(args)
         if args.command == "compare":
             return _cmd_compare(args)
     except ReproError as exc:

@@ -273,6 +273,48 @@ class CampPolicy(EvictionPolicy):
             return None
         return self._heap.peek().priority
 
+    # ------------------------------------------------------------------
+    # durable state (snapshot/restore hooks)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Everything a restored CAMP needs to evict identically: the
+        queues (head-to-tail, preserving LRU order), each member's fixed
+        H and touch sequence, the global clocks L/seq, and the adaptive
+        multiplier.  Queue ids (rounded ratios) ride along so migration
+        history survives even when the current multiplier would round a
+        member into a different queue today."""
+        queues = [
+            [ratio_key, [[e.item.key, e.item.size, e.item.cost, e.h, e.seq]
+                         for e in queue.items]]
+            for ratio_key, queue in self._queues.items()
+        ]
+        return {
+            "policy": self.name,
+            "precision": self._precision,
+            "reround_on_hit": self._reround_on_hit,
+            "L": self._L,
+            "seq": self._seq,
+            "multiplier": self._converter.multiplier,
+            "queues": queues,
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        self._check_importable(state)
+        self._precision = state["precision"]
+        self._reround_on_hit = bool(state["reround_on_hit"])
+        self._L = state["L"]
+        self._seq = state["seq"]
+        self._converter.observe(int(state["multiplier"]))
+        for ratio_key, members in state["queues"]:
+            for key, size, cost, h, seq in members:
+                if key in self._entries:
+                    raise ConfigurationError(
+                        f"snapshot lists {key!r} in two queues")
+                entry = _CampEntry(CacheItem(key, size, cost), h, seq,
+                                  ratio_key)
+                self._entries[key] = entry
+                self._append_to_queue(entry)
+
     def stats(self) -> Dict[str, Union[int, float]]:
         return {
             "heap_node_visits": self._heap.node_visits,

@@ -91,6 +91,17 @@ class ThreadSafePolicy(EvictionPolicy):
         with self._lock:
             self._inner.reset_stats()
 
+    def export_state(self) -> Dict[str, object]:
+        """Snapshot the inner policy's state (its kind, not the wrapper's,
+        names the dict — a thread-safe CAMP restores into bare CAMP and
+        vice versa)."""
+        with self._lock:
+            return self._inner.export_state()
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        with self._lock:
+            self._inner.import_state(state)
+
     def __contains__(self, key: str) -> bool:
         with self._lock:
             return key in self._inner

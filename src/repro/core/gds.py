@@ -31,6 +31,7 @@ from typing import Dict, Optional, Union
 from repro.core.policy import CacheItem, EvictionPolicy
 from repro.core.rounding import RatioConverter
 from repro.errors import (
+    ConfigurationError,
     DuplicateKeyError,
     EvictionError,
     MissingKeyError,
@@ -157,6 +158,37 @@ class GdsPolicy(EvictionPolicy):
         if not self._heap:
             return None
         return self._heap.peek().priority[0]
+
+    # ------------------------------------------------------------------
+    # durable state (snapshot/restore hooks)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Residents with their fixed (H, seq) priorities plus the global
+        clocks — heap shape is irrelevant, priorities are total."""
+        entries = [[e.item.key, e.item.size, e.item.cost,
+                    e.priority[0], e.priority[1]]
+                   for e in self._entries.values()]
+        return {
+            "policy": self.name,
+            "integerize": self._integerize,
+            "L": self._L,
+            "seq": self._seq,
+            "multiplier": self._converter.multiplier,
+            "entries": entries,
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        self._check_importable(state)
+        self._integerize = bool(state["integerize"])
+        self._L = state["L"]
+        self._seq = state["seq"]
+        self._converter.observe(int(state["multiplier"]))
+        for key, size, cost, h, seq in state["entries"]:
+            if key in self._entries:
+                raise ConfigurationError(f"snapshot lists {key!r} twice")
+            entry = self._entry_type((h, seq), CacheItem(key, size, cost))
+            self._heap.push(entry)
+            self._entries[key] = entry
 
     def stats(self) -> Dict[str, Union[int, float]]:
         return {

@@ -55,3 +55,17 @@ class GdsfPolicy(GdsPolicy):
         if key not in self._freq:
             raise MissingKeyError(key)
         return self._freq[key]
+
+    # ------------------------------------------------------------------
+    # durable state (snapshot/restore hooks)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """GDS state plus the per-key resident frequency counters."""
+        state = super().export_state()
+        state["freq"] = dict(self._freq)
+        return state
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        super().import_state(state)
+        self._freq = {str(key): int(count)
+                      for key, count in state["freq"].items()}

@@ -7,7 +7,7 @@ addresses (an aged but expensive pair is treated like any other).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.core.policy import CacheItem, EvictionPolicy
 from repro.errors import DuplicateKeyError, EvictionError, MissingKeyError
@@ -68,3 +68,18 @@ class LruPolicy(EvictionPolicy):
     def keys_lru_to_mru(self) -> Iterator[str]:
         """Resident keys from next-victim to most recently used."""
         return (node.item.key for node in self._queue)
+
+    # ------------------------------------------------------------------
+    # durable state (snapshot/restore hooks)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """The queue in LRU-to-MRU order — recency is the whole state."""
+        entries: List[List[object]] = [
+            [node.item.key, node.item.size, node.item.cost]
+            for node in self._queue]
+        return {"policy": self.name, "entries": entries}
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        self._check_importable(state)
+        for key, size, cost in state["entries"]:
+            self.on_insert(key, size, cost)

@@ -118,6 +118,36 @@ class EvictionPolicy(ABC):
         the store, or than its pool in Pooled LRU)."""
         return incoming.size <= capacity
 
+    def export_state(self) -> Dict[str, object]:
+        """Serialize eviction state for a durable snapshot.
+
+        Returns a JSON-serializable dict whose ``"policy"`` entry names
+        the concrete policy.  A policy of the same kind fed this dict via
+        :meth:`import_state` must make *identical* future eviction
+        decisions — membership, recency/priority order, and any global
+        clocks (CAMP's ``L``) all round-trip.  Policies that cannot
+        honour that contract keep the default, which refuses.
+        """
+        raise ConfigurationError(
+            f"policy {self.name!r} does not support durable state export")
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`export_state` on an *empty*
+        policy of the same kind."""
+        raise ConfigurationError(
+            f"policy {self.name!r} does not support durable state import")
+
+    def _check_importable(self, state: Dict[str, object]) -> None:
+        """Shared import preamble: right policy kind, empty receiver."""
+        kind = state.get("policy")
+        if kind != self.name:
+            raise ConfigurationError(
+                f"cannot import {kind!r} state into a {self.name!r} policy")
+        if len(self):
+            raise ConfigurationError(
+                f"import_state requires an empty policy; "
+                f"{len(self)} keys are resident")
+
     def stats(self) -> Dict[str, Union[int, float]]:
         """Policy-specific counters (heap visits, queue counts, ...)."""
         return {}

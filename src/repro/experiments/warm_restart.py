@@ -1,0 +1,201 @@
+"""Warm vs cold restart: what durable state is worth in miss cost.
+
+The paper closes on hierarchical caches that "may persist costly data
+items"; this experiment quantifies that remark for the reproduction's
+own stores.  A process serves the first part of a trace, restarts at a
+configured point, then serves the rest three ways:
+
+* **uninterrupted** — no restart: the same store serves the whole trace
+  (the lower bound on suffix miss cost);
+* **warm** — the store was built with ``StoreConfig.persistence(...)``;
+  the restart snapshots it and the successor recovers items *and*
+  eviction-policy state (CAMP queues, rounded priorities, the L clock)
+  before serving the suffix;
+* **cold** — state is lost: an empty store re-pays ``cost(p)`` for the
+  whole working set while re-learning its priorities.
+
+Because the snapshot round-trips the exact policy state, the warm
+store is *eviction-equivalent* to the uninterrupted control — same
+hits, same victims — so its suffix cost matches the lower bound, while
+the cold restart pays measurably more (``benchmarks/test_warm_restart.py``
+guards both claims, plus snapshot/recovery throughput floors).
+
+Suffix accounting is deliberately raw (every miss counts, no
+cold-request exclusion): re-paying the cost of a key the process knew
+before the restart is exactly the waste being measured.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis import Table
+from repro.cache.store import Store, StoreConfig
+from repro.errors import ConfigurationError
+from repro.experiments.data import get_scale
+from repro.workloads import three_cost_trace, variable_size_constant_cost_trace
+from repro.workloads.trace import Trace, TraceRecord
+
+__all__ = ["WarmRestartConfig", "warm_restart_config", "warm_restart_traces",
+           "run_restart_comparison", "RestartOutcome", "run"]
+
+#: the paper's headline operating point (Figure 5c reads at 0.25)
+CACHE_RATIO = 0.25
+#: where the process dies, as a fraction of the trace
+RESTART_AT = 0.5
+
+POLICIES = ("camp", "lru")
+
+
+@dataclass(frozen=True, slots=True)
+class WarmRestartConfig:
+    """Trace sizing for one scale."""
+
+    keys: int
+    requests: int
+
+
+_CONFIGS: Dict[str, WarmRestartConfig] = {
+    "tiny": WarmRestartConfig(keys=300, requests=10_000),
+    "default": WarmRestartConfig(keys=1_500, requests=60_000),
+    "full": WarmRestartConfig(keys=6_000, requests=400_000),
+}
+
+
+def warm_restart_config(scale: str) -> WarmRestartConfig:
+    get_scale(scale)  # validate the scale name with the shared error
+    try:
+        return _CONFIGS[scale]
+    except KeyError:  # pragma: no cover - scales and configs stay in sync
+        raise ConfigurationError(f"no warm-restart config for scale {scale!r}")
+
+
+def warm_restart_traces(scale: str, seed: int = 0) -> List[Trace]:
+    """The paper's two workload shapes: three-cost and variable-size."""
+    config = warm_restart_config(scale)
+    return [
+        three_cost_trace(n_keys=config.keys, n_requests=config.requests,
+                         seed=seed + 1),
+        variable_size_constant_cost_trace(
+            n_keys=config.keys, n_requests=config.requests, seed=seed + 2),
+    ]
+
+
+@dataclass(slots=True)
+class RestartOutcome:
+    """One (workload, policy) comparison plus durability timings."""
+
+    workload: str
+    policy: str
+    #: scheme -> (suffix miss cost, suffix misses)
+    suffix: Dict[str, Tuple[float, int]]
+    items_at_restart: int
+    restored_items: int
+    snapshot_bytes: int
+    save_seconds: float
+    recover_seconds: float
+
+    def cost(self, scheme: str) -> float:
+        return self.suffix[scheme][0]
+
+
+def _serve(store: Store, records: Sequence[TraceRecord]) -> Tuple[float, int]:
+    """Run records through the store; raw (miss cost, misses) — every
+    miss counts, including first touches (see module docstring)."""
+    cost_missed = 0.0
+    misses = 0
+    for record in records:
+        if not store.access(record.key, record.size, record.cost).hit:
+            cost_missed += record.cost
+            misses += 1
+    return cost_missed, misses
+
+
+def run_restart_comparison(trace: Trace, policy: str = "camp",
+                           restart_at: float = RESTART_AT,
+                           cache_ratio: float = CACHE_RATIO
+                           ) -> RestartOutcome:
+    """Serve ``trace`` with a restart at ``restart_at`` under all three
+    schemes; returns the raw numbers (shared with the benchmark guard)."""
+    if not 0 < restart_at < 1:
+        raise ConfigurationError(
+            f"restart_at must be in (0, 1), got {restart_at}")
+    capacity = trace.capacity_for_ratio(cache_ratio)
+    split = int(len(trace) * restart_at)
+    prefix, suffix = trace.records[:split], trace.records[split:]
+
+    # uninterrupted control: one store lives through the whole trace
+    control = StoreConfig(capacity).policy(policy).build()
+    _serve(control, prefix)
+    control_suffix = _serve(control, suffix)
+
+    # warm: durable prefix, snapshot at the restart, recover, serve on
+    state_dir = tempfile.mkdtemp(prefix="warm-restart-")
+    try:
+        durable = (StoreConfig(capacity).policy(policy)
+                   .persistence(state_dir, recover=False).build())
+        _serve(durable, prefix)
+        items_at_restart = len(durable)
+        started = time.perf_counter()
+        generation = durable.save()
+        save_seconds = time.perf_counter() - started
+        snapshot_bytes = (durable.persistence.directory
+                          / f"snapshot-{generation:06d}.snap").stat().st_size
+        durable.persistence.close()
+        started = time.perf_counter()
+        warm = (StoreConfig(capacity).policy(policy)
+                .persistence(state_dir).build())
+        recover_seconds = time.perf_counter() - started
+        restored_items = warm.last_recovery.items_restored
+        warm_suffix = _serve(warm, suffix)
+        warm.persistence.close()
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    # cold: the restart lost everything; an empty store serves the suffix
+    cold = StoreConfig(capacity).policy(policy).build()
+    cold_suffix = _serve(cold, suffix)
+
+    return RestartOutcome(
+        workload=trace.name, policy=policy,
+        suffix={"uninterrupted": control_suffix, "warm": warm_suffix,
+                "cold": cold_suffix},
+        items_at_restart=items_at_restart, restored_items=restored_items,
+        snapshot_bytes=snapshot_bytes, save_seconds=save_seconds,
+        recover_seconds=recover_seconds)
+
+
+def run(scale: str = "default") -> List[Table]:
+    """The registry entry point: restart cost and durability throughput."""
+    comparison = Table(
+        f"Warm restart — suffix miss cost by scheme (restart at "
+        f"{int(RESTART_AT * 100)}%, cache ratio {CACHE_RATIO}, "
+        f"scale {scale})",
+        ["workload", "policy", "scheme", "suffix_miss_cost",
+         "suffix_misses", "vs_cold"])
+    throughput = Table(
+        "Warm restart — snapshot & recovery throughput",
+        ["workload", "policy", "items", "snapshot_bytes", "save_seconds",
+         "save_items_per_s", "recover_seconds", "recover_items_per_s"])
+    for trace in warm_restart_traces(scale):
+        for policy in POLICIES:
+            outcome = run_restart_comparison(trace, policy)
+            cold_cost = outcome.cost("cold")
+            for scheme in ("uninterrupted", "warm", "cold"):
+                cost, misses = outcome.suffix[scheme]
+                comparison.add_row(
+                    trace.name, policy, scheme, cost, misses,
+                    cost / cold_cost if cold_cost else 1.0)
+            throughput.add_row(
+                trace.name, policy, outcome.items_at_restart,
+                outcome.snapshot_bytes, outcome.save_seconds,
+                outcome.items_at_restart / outcome.save_seconds
+                if outcome.save_seconds else 0.0,
+                outcome.recover_seconds,
+                outcome.restored_items / outcome.recover_seconds
+                if outcome.recover_seconds else 0.0)
+    return [comparison, throughput]

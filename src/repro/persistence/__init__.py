@@ -1,0 +1,70 @@
+"""Durable cache state: snapshots, an append-only operation log, and
+CAMP-priority-preserving recovery.
+
+The paper closes on hierarchical caches that "may persist costly data
+items"; this package makes the reproduction's stores restartable without
+re-paying the working set's ``cost(p)``:
+
+* :mod:`~repro.persistence.format` — framed, CRC-checksummed records,
+* :mod:`~repro.persistence.snapshot` — atomic generational snapshots
+  carrying items *and* exported eviction-policy state (CAMP queues,
+  rounded priorities, the global L clock),
+* :mod:`~repro.persistence.aol` — the post-snapshot mutation log with
+  configurable fsync policy and torn-tail repair,
+* :mod:`~repro.persistence.recovery` — newest-healthy-generation
+  restore plus log replay,
+* :mod:`~repro.persistence.manager` — live-store wiring: listener-driven
+  logging, ratio-triggered compaction, background snapshot thread.
+
+Most callers reach this through ``StoreConfig.persistence(...)``, the
+engine's ``save``/``start_snapshot_daemon``, ``TenantManager.save_all``,
+or the ``repro.cli persist`` subcommand.
+"""
+
+from repro.persistence.aol import FSYNC_POLICIES, AppendOnlyLog, read_log
+from repro.persistence.format import (
+    LOG_MAGIC,
+    SNAPSHOT_MAGIC,
+    PersistenceError,
+    SnapshotCorruptError,
+)
+from repro.persistence.manager import (
+    PersistenceConfig,
+    PersistenceManager,
+    SnapshotThread,
+)
+from repro.persistence.recovery import (
+    RecoveryManager,
+    RecoveryReport,
+    log_path_for,
+)
+from repro.persistence.snapshot import (
+    SnapshotData,
+    Snapshotter,
+    load_snapshot,
+    restore_snapshot,
+    save_snapshot,
+    snapshot_generations,
+)
+
+__all__ = [
+    "PersistenceError",
+    "SnapshotCorruptError",
+    "SNAPSHOT_MAGIC",
+    "LOG_MAGIC",
+    "AppendOnlyLog",
+    "read_log",
+    "FSYNC_POLICIES",
+    "SnapshotData",
+    "Snapshotter",
+    "save_snapshot",
+    "load_snapshot",
+    "restore_snapshot",
+    "snapshot_generations",
+    "RecoveryManager",
+    "RecoveryReport",
+    "log_path_for",
+    "PersistenceConfig",
+    "PersistenceManager",
+    "SnapshotThread",
+]

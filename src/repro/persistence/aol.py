@@ -1,0 +1,189 @@
+"""The append-only operation log: post-snapshot mutations, framed.
+
+Each record is one mutation — ``insert`` (which doubles as update: the
+KVS replaces in place), ``delete``, or ``touch`` — in the shared framed
+format.  Lookups/hits are deliberately *not* logged: logging the read
+path would make the log grow with traffic instead of with churn, and
+replayed inserts rebuild policy state well enough for a warm start (the
+snapshot, not the log, carries the exact priority state; see
+DESIGN.md's recovery-semantics table).
+
+Expiry travels as *remaining TTL at append time* (``ttl`` seconds), so
+replay on a different process's clock needs no rebasing.
+
+``fsync`` policy trades durability for append latency:
+
+* ``"always"`` — flush + fsync after every record (lose nothing),
+* ``"batch"``  — fsync every ``fsync_every`` records (bounded loss),
+* ``"never"``  — let the OS page cache decide (crash loses the tail).
+
+A torn tail — the half-written record a crash under any policy can
+leave — is normal, not fatal: :func:`read_log` stops at the first bad
+frame, and :meth:`AppendOnlyLog.repair` truncates the file back to its
+last valid record so appends can resume on a clean boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.persistence.format import (
+    LOG_MAGIC,
+    PersistenceError,
+    read_magic,
+    scan_records,
+    write_magic,
+    write_record,
+)
+
+__all__ = ["AppendOnlyLog", "read_log", "FSYNC_POLICIES"]
+
+Number = Union[int, float]
+
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+def read_log(path: Union[str, os.PathLike]
+             ) -> Tuple[List[dict], bool, int]:
+    """Best-effort read of a log file.
+
+    Returns ``(operations, clean, valid_bytes)``: every record up to the
+    first torn/corrupt one, whether the tail was clean, and the file
+    offset of the last valid record (the truncation point).  A missing
+    file reads as an empty, clean log.
+    """
+    file = pathlib.Path(path)
+    if not file.exists():
+        return [], True, 0
+    with open(file, "rb") as handle:
+        try:
+            read_magic(handle, LOG_MAGIC)
+        except PersistenceError:
+            # not even a valid magic: nothing salvageable
+            return [], False, 0
+        records, clean, valid = scan_records(handle)
+        return records, clean, len(LOG_MAGIC) + valid
+
+
+class AppendOnlyLog:
+    """Appendable mutation log with a configurable fsync policy."""
+
+    def __init__(self, path: Union[str, os.PathLike],
+                 fsync: str = "never", fsync_every: int = 64) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise PersistenceError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if fsync_every < 1:
+            raise PersistenceError(
+                f"fsync_every must be >= 1, got {fsync_every}")
+        self._path = pathlib.Path(path)
+        self._fsync = fsync
+        self._fsync_every = fsync_every
+        self._since_sync = 0
+        self._records = 0
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            existing = self._path.stat().st_size if self._path.exists() else 0
+            self._handle = open(self._path, "ab")
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot open operation log {self._path}: {exc}") from exc
+        self._bytes = existing
+        if existing == 0:
+            write_magic(self._handle, LOG_MAGIC)
+            self._handle.flush()
+            self._bytes = len(LOG_MAGIC)
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+    def append(self, operation: Dict[str, object]) -> None:
+        if self._handle.closed:
+            raise PersistenceError(f"log {self._path} is closed")
+        self._bytes += write_record(self._handle, operation)
+        self._records += 1
+        if self._fsync == "always":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        elif self._fsync == "batch":
+            self._since_sync += 1
+            if self._since_sync >= self._fsync_every:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._since_sync = 0
+
+    def log_insert(self, key: str, size: int, cost: Number,
+                   ttl: Optional[float] = None) -> None:
+        """Record an insert/update; ``ttl`` is seconds-to-expiry *now*."""
+        operation: Dict[str, object] = {"op": "insert", "k": key,
+                                        "s": size, "c": cost}
+        if ttl:
+            operation["ttl"] = ttl
+        self.append(operation)
+
+    def log_delete(self, key: str) -> None:
+        self.append({"op": "delete", "k": key})
+
+    def log_touch(self, key: str, ttl: Optional[float] = None) -> None:
+        operation: Dict[str, object] = {"op": "touch", "k": key}
+        if ttl:
+            operation["ttl"] = ttl
+        self.append(operation)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._since_sync = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "AppendOnlyLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection / repair
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    @property
+    def records_appended(self) -> int:
+        """Records appended through *this* handle (not the whole file)."""
+        return self._records
+
+    def size_bytes(self) -> int:
+        """Bytes written through this handle plus what the file already
+        held — an in-memory tally, no stat/flush on the hot path."""
+        return self._bytes
+
+    @staticmethod
+    def repair(path: Union[str, os.PathLike]) -> Tuple[int, bool]:
+        """Truncate a torn tail in place.
+
+        Returns ``(valid_records, truncated)``.  Must be called on a
+        log no open handle is appending to.
+        """
+        operations, clean, valid_bytes = read_log(path)
+        if clean:
+            return len(operations), False
+        file = pathlib.Path(path)
+        if valid_bytes == 0 and file.exists():
+            # unreadable magic: start the file over
+            file.unlink()
+            return 0, True
+        with open(file, "rb+") as handle:
+            handle.truncate(valid_bytes)
+        return len(operations), True

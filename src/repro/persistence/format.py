@@ -1,0 +1,161 @@
+"""The on-disk record format shared by snapshots and the operation log.
+
+Both files are a fixed 8-byte magic followed by *framed records*:
+
+    +----------------+----------------+------------------+
+    | length  (u32)  | crc32   (u32)  | body (length B)  |
+    +----------------+----------------+------------------+
+
+little-endian, with the CRC taken over the body alone.  Bodies are
+compact JSON (sorted keys) so records stay introspectable with nothing
+but ``zlib`` and ``json``; binary payloads (item values) travel inside
+bodies as base64.  Framing makes corruption *detectable* per record —
+a torn tail, a flipped bit, or a short write all surface as a
+:class:`SnapshotCorruptError` at the exact byte offset, which is what
+lets recovery truncate-at-first-bad-record instead of giving up.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pathlib
+import struct
+import zlib
+from typing import IO, Callable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+__all__ = ["PersistenceError", "SnapshotCorruptError", "SNAPSHOT_MAGIC",
+           "LOG_MAGIC", "write_magic", "read_magic", "write_record",
+           "read_record", "iter_records", "scan_records", "encode_payload",
+           "decode_payload", "atomic_write"]
+
+#: the files' first 8 bytes: format family + version (bump on change)
+SNAPSHOT_MAGIC = b"CAMPSNP1"
+LOG_MAGIC = b"CAMPAOL1"
+
+_FRAME = struct.Struct("<II")
+
+#: refuse absurd frames instead of attempting a multi-GB read when the
+#: length word itself is corrupt
+MAX_RECORD_BYTES = 1 << 28
+
+
+class PersistenceError(ReproError):
+    """A durable-state operation failed."""
+
+
+class SnapshotCorruptError(PersistenceError):
+    """A snapshot or log record failed its checksum / framing checks."""
+
+
+def write_magic(handle: IO[bytes], magic: bytes) -> None:
+    handle.write(magic)
+
+
+def read_magic(handle: IO[bytes], expected: bytes) -> None:
+    magic = handle.read(len(expected))
+    if magic != expected:
+        raise SnapshotCorruptError(
+            f"bad magic: expected {expected!r}, found {magic!r}")
+
+
+def write_record(handle: IO[bytes], body: dict) -> int:
+    """Frame and write one JSON body; returns the bytes written."""
+    data = json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    handle.write(_FRAME.pack(len(data), zlib.crc32(data)))
+    handle.write(data)
+    return _FRAME.size + len(data)
+
+
+def read_record(handle: IO[bytes]) -> Optional[dict]:
+    """Read one framed record; None at clean EOF.
+
+    Raises :class:`SnapshotCorruptError` on a torn or corrupt frame.
+    """
+    header = handle.read(_FRAME.size)
+    if not header:
+        return None
+    if len(header) < _FRAME.size:
+        raise SnapshotCorruptError("torn record header at end of file")
+    length, crc = _FRAME.unpack(header)
+    if length > MAX_RECORD_BYTES:
+        raise SnapshotCorruptError(f"implausible record length {length}")
+    data = handle.read(length)
+    if len(data) < length:
+        raise SnapshotCorruptError("torn record body at end of file")
+    if zlib.crc32(data) != crc:
+        raise SnapshotCorruptError("record checksum mismatch")
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise SnapshotCorruptError(f"record body is not JSON: {exc}") from None
+
+
+def iter_records(handle: IO[bytes]) -> Iterator[dict]:
+    """Yield records until clean EOF; corruption raises."""
+    while True:
+        record = read_record(handle)
+        if record is None:
+            return
+        yield record
+
+
+def scan_records(handle: IO[bytes]) -> Tuple[List[dict], bool, int]:
+    """Read as many valid records as possible.
+
+    Returns ``(records, clean, valid_bytes)`` where ``clean`` is False
+    when the scan stopped at a torn/corrupt record and ``valid_bytes``
+    is the offset (from the handle's starting position) of the last
+    fully-valid record — the truncation point for torn-tail repair.
+    """
+    records: List[dict] = []
+    start = handle.tell()
+    valid = start
+    while True:
+        try:
+            record = read_record(handle)
+        except SnapshotCorruptError:
+            return records, False, valid - start
+        if record is None:
+            return records, True, valid - start
+        records.append(record)
+        valid = handle.tell()
+
+
+def atomic_write(path: Union[str, os.PathLike],
+                 writer: Callable[[IO[bytes]], None]) -> int:
+    """Crash-ordered publish: write via ``writer`` to a temp name, fsync,
+    then ``os.replace`` onto ``path``.
+
+    A crash at any point leaves the previous file untouched and at worst
+    a ``*.tmp`` orphan, never a half-written file under the real name.
+    Returns the published file's size in bytes.
+    """
+    final = pathlib.Path(path)
+    temp = final.with_name(final.name + ".tmp")
+    try:
+        with open(temp, "wb") as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, final)
+    except OSError as exc:
+        temp.unlink(missing_ok=True)
+        raise PersistenceError(f"cannot write {final}: {exc}") from exc
+    return final.stat().st_size
+
+
+def encode_payload(value: bytes) -> str:
+    """Binary payload -> JSON-safe base64 text."""
+    return base64.b64encode(value).decode("ascii")
+
+
+def decode_payload(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise SnapshotCorruptError(f"bad payload encoding: {exc}") from None

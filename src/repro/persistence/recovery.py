@@ -1,0 +1,197 @@
+"""Recovery: newest healthy snapshot + operation-log replay.
+
+The directory layout (written by :class:`~repro.persistence.manager.
+PersistenceManager`) pairs each snapshot generation with the log of
+mutations that followed it::
+
+    state/
+      snapshot-000007.snap     # older fallback
+      snapshot-000008.snap     # newest generation
+      aol-000007.log           # mutations after gen 7 (pre-gen-8 history)
+      aol-000008.log           # mutations after gen 8  <- replayed
+
+Recovery walks generations newest-first until one snapshot loads
+cleanly (checksums, counts, footer), restores it into the store, then
+replays that generation's log, truncating a torn tail first.  Replayed
+inserts go through the normal :meth:`KVS.insert` path, so capacity
+evictions re-run under the restored policy state; the result is a
+*warm* cache — exact at the snapshot point, best-effort for the logged
+suffix (hits between snapshot and crash were not logged, so post-
+snapshot recency is approximated by the mutation order).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.cache.kvs import KVS
+from repro.core import make_policy
+from repro.persistence.aol import AppendOnlyLog, read_log
+from repro.persistence.format import PersistenceError, SnapshotCorruptError
+from repro.persistence.snapshot import (
+    SnapshotData,
+    Snapshotter,
+    load_snapshot,
+    snapshot_generations,
+)
+
+__all__ = ["RecoveryReport", "RecoveryManager", "log_path_for"]
+
+
+def log_path_for(directory: Union[str, os.PathLike],
+                 generation: int) -> pathlib.Path:
+    """The operation log holding mutations after ``generation``."""
+    return pathlib.Path(directory) / f"aol-{generation:06d}.log"
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass found and did."""
+
+    generation: int = 0
+    snapshot_path: Optional[str] = None
+    items_restored: int = 0
+    evicted_on_restore: int = 0
+    log_records_replayed: int = 0
+    torn_tail_truncated: bool = False
+    corrupt_generations: List[int] = field(default_factory=list)
+    payloads: Dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def recovered(self) -> bool:
+        """True when any snapshot generation was restored."""
+        return self.snapshot_path is not None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "generation": self.generation,
+            "items_restored": self.items_restored,
+            "evicted_on_restore": self.evicted_on_restore,
+            "log_records_replayed": self.log_records_replayed,
+            "torn_tail_truncated": self.torn_tail_truncated,
+            "corrupt_generations": list(self.corrupt_generations),
+        }
+
+
+class RecoveryManager:
+    """Restores a state directory into a store."""
+
+    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+        self._dir = pathlib.Path(directory)
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self._dir
+
+    # ------------------------------------------------------------------
+    # snapshot selection
+    # ------------------------------------------------------------------
+    def load_latest_snapshot(self, now: Optional[float] = None
+                             ) -> Tuple[Optional[SnapshotData],
+                                        Optional[pathlib.Path], List[int]]:
+        """Newest loadable snapshot, its path, and the corrupt
+        generations skipped on the way down."""
+        corrupt: List[int] = []
+        snapshotter = Snapshotter(self._dir)
+        for generation in reversed(snapshot_generations(self._dir)):
+            path = snapshotter.path_for(generation)
+            try:
+                return load_snapshot(path, now=now), path, corrupt
+            except PersistenceError:
+                corrupt.append(generation)
+        return None, None, corrupt
+
+    # ------------------------------------------------------------------
+    # full recovery
+    # ------------------------------------------------------------------
+    def recover_into(self, kvs: KVS, repair_log: bool = True,
+                     preloaded: Optional[Tuple[Optional[SnapshotData],
+                                               Optional[pathlib.Path],
+                                               List[int]]] = None
+                     ) -> RecoveryReport:
+        """Restore the newest healthy generation into an empty ``kvs``
+        and replay its operation log.
+
+        ``repair_log`` truncates a torn log tail in place (required
+        before a :class:`~repro.persistence.manager.PersistenceManager`
+        resumes appending to the same file).  Item payload bytes found
+        in the snapshot are returned on the report for the caller (the
+        Store facade re-memoizes them).  ``preloaded`` short-circuits the
+        snapshot read with an earlier :meth:`load_latest_snapshot` result
+        (callers that inspect the header first — the tenancy manager
+        adopting saved allocations — avoid parsing the file twice).
+        """
+        report = RecoveryReport()
+        if preloaded is not None:
+            data, path, corrupt = preloaded
+        else:
+            data, path, corrupt = self.load_latest_snapshot(now=kvs.clock())
+        report.corrupt_generations = corrupt
+        if data is not None:
+            evicted = kvs.restore(data.items, data.policy_state)
+            report.generation = data.generation
+            report.snapshot_path = str(path)
+            report.items_restored = data.item_count - len(evicted)
+            report.evicted_on_restore = len(evicted)
+            report.payloads = {
+                key: value for key, value in data.payloads.items()
+                if key in kvs}
+        self._replay_log(kvs, report, repair_log=repair_log)
+        return report
+
+    def _replay_log(self, kvs: KVS, report: RecoveryReport,
+                    repair_log: bool) -> None:
+        path = log_path_for(self._dir, report.generation)
+        operations, clean, _valid = read_log(path)
+        if not clean and repair_log:
+            AppendOnlyLog.repair(path)
+            report.torn_tail_truncated = True
+        overhead = kvs.item_overhead
+        for operation in operations:
+            op = operation.get("op")
+            key = str(operation.get("k", ""))
+            if op == "insert":
+                # the log records charged sizes; KVS.insert re-charges
+                size = int(operation["s"]) - overhead
+                kvs.insert(key, size, operation["c"],
+                           ttl=operation.get("ttl"))
+            elif op == "delete":
+                kvs.delete(key)
+            elif op == "touch":
+                kvs.touch(key, operation.get("ttl"))
+            else:
+                raise SnapshotCorruptError(
+                    f"{path}: unknown log operation {op!r}")
+            report.log_records_replayed += 1
+
+    # ------------------------------------------------------------------
+    # standalone recovery (CLI: no pre-built store)
+    # ------------------------------------------------------------------
+    def recover(self, repair_log: bool = True) -> Tuple[KVS, RecoveryReport]:
+        """Rebuild a store purely from the directory.
+
+        The snapshot header carries capacity, item overhead and the
+        policy state (whose ``"policy"`` entry is a registry name), so
+        no caller-side configuration is needed.  Raises when no healthy
+        snapshot exists.  A torn log tail is truncated in place unless
+        ``repair_log`` is False (pass False for a strictly read-only
+        inspection of the directory).
+        """
+        # one parse only: rebase expiry onto the monotonic clock the new
+        # KVS will run on, then feed the loaded data to recover_into
+        preloaded = self.load_latest_snapshot(now=time.monotonic())
+        data, _path, corrupt = preloaded
+        if data is None:
+            raise PersistenceError(
+                f"no loadable snapshot in {self._dir} "
+                f"(corrupt generations: {corrupt or 'none'})")
+        policy_name = str(data.policy_state.get("policy"))
+        policy = make_policy(policy_name, data.capacity)
+        kvs = KVS(data.capacity, policy, item_overhead=data.item_overhead)
+        report = self.recover_into(kvs, repair_log=repair_log,
+                                   preloaded=preloaded)
+        return kvs, report

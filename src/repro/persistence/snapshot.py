@@ -1,0 +1,245 @@
+"""Atomic, generational snapshots of a :class:`~repro.cache.kvs.KVS`.
+
+A snapshot file is, in order: the magic, a *header* record (format
+version, capacity, item overhead, the store clock's reading at save
+time, item count, and the eviction policy's exported state), one record
+per resident item (key, charged size, cost, expiry, optional payload),
+and a *footer* record echoing the item count.  Every record is framed
+and checksummed (:mod:`repro.persistence.format`), and the file is
+written to a temp name then published with ``os.replace`` — a crash
+mid-save leaves the previous generation untouched and at worst a
+``*.tmp`` orphan, never a half-written snapshot under the real name.
+
+Expiry headaches: ``expire_at`` is a reading of the *saving* store's
+clock (``time.monotonic`` by default), which is meaningless to another
+process.  The header therefore carries the clock's value at save time,
+and :func:`load_snapshot` rebases each item's expiry onto the restoring
+store's clock, preserving the remaining TTL.  Items whose TTL already
+lapsed rebase to "expired now" rather than being dropped, so the policy
+state (which still lists them) stays consistent; the store's lazy
+reclaim retires them on first touch.
+
+The :class:`Snapshotter` adds *generations* on top: ``snapshot-<n>.snap``
+files in one directory, newest wins, the ``keep_generations`` most
+recent retained as fallbacks for recovery from a corrupt newest file.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.cache.kvs import KVS
+from repro.core.policy import CacheItem
+from repro.persistence.format import (
+    SNAPSHOT_MAGIC,
+    PersistenceError,
+    SnapshotCorruptError,
+    atomic_write,
+    decode_payload,
+    encode_payload,
+    read_magic,
+    read_record,
+    write_magic,
+    write_record,
+)
+
+__all__ = ["SnapshotData", "Snapshotter", "save_snapshot", "load_snapshot",
+           "restore_snapshot", "snapshot_generations"]
+
+FORMAT_VERSION = 1
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{6})\.snap$")
+
+
+@dataclass
+class SnapshotData:
+    """A parsed snapshot, expiry already rebased onto ``clock_now``."""
+
+    version: int
+    generation: int
+    capacity: int
+    item_overhead: int
+    saved_clock: float
+    policy_state: Dict[str, object]
+    items: List[CacheItem] = field(default_factory=list)
+    payloads: Dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def item_count(self) -> int:
+        return len(self.items)
+
+
+def save_snapshot(path: Union[str, os.PathLike],
+                  kvs: KVS,
+                  payloads: Optional[Mapping[str, bytes]] = None,
+                  generation: int = 0) -> int:
+    """Atomically serialize ``kvs`` (items + policy state) to ``path``.
+
+    ``payloads`` optionally maps resident keys to their value bytes
+    (stores that memoize values persist them here; metadata-only
+    simulators pass nothing).  Returns the snapshot's size in bytes.
+    The publish is crash-ordered (:func:`~repro.persistence.format.
+    atomic_write`): temp file, fsync, then ``os.replace``.
+    """
+    items = list(kvs.resident_items())
+    header = {
+        "kind": "snapshot",
+        "version": FORMAT_VERSION,
+        "generation": generation,
+        "capacity": kvs.capacity,
+        "item_overhead": kvs.item_overhead,
+        "clock": kvs.clock(),
+        "items": len(items),
+        "policy": kvs.policy.export_state(),
+    }
+
+    def write_body(handle):
+        write_magic(handle, SNAPSHOT_MAGIC)
+        write_record(handle, header)
+        for item in items:
+            body = {"k": item.key, "s": item.size, "c": item.cost,
+                    "e": item.expire_at}
+            if payloads is not None and item.key in payloads:
+                body["v"] = encode_payload(payloads[item.key])
+            write_record(handle, body)
+        write_record(handle, {"kind": "footer", "items": len(items)})
+
+    return atomic_write(path, write_body)
+
+
+def load_snapshot(path: Union[str, os.PathLike],
+                  now: Optional[float] = None) -> SnapshotData:
+    """Parse and validate a snapshot file.
+
+    Raises :class:`SnapshotCorruptError` on any framing/checksum/count
+    problem — a snapshot is all-or-nothing, unlike the log.  When
+    ``now`` is given, each item's ``expire_at`` is rebased onto that
+    clock (remaining TTL preserved; already-lapsed TTLs become
+    "expired as of now").
+    """
+    try:
+        handle = open(path, "rb")
+    except OSError as exc:
+        raise PersistenceError(f"cannot read snapshot {path}: {exc}") from exc
+    with handle:
+        read_magic(handle, SNAPSHOT_MAGIC)
+        header = read_record(handle)
+        if header is None or header.get("kind") != "snapshot":
+            raise SnapshotCorruptError(f"{path}: missing snapshot header")
+        if header.get("version") != FORMAT_VERSION:
+            raise SnapshotCorruptError(
+                f"{path}: unsupported format version {header.get('version')}")
+        saved_clock = float(header["clock"])
+        expected = int(header["items"])
+        data = SnapshotData(
+            version=int(header["version"]),
+            generation=int(header.get("generation", 0)),
+            capacity=int(header["capacity"]),
+            item_overhead=int(header.get("item_overhead", 0)),
+            saved_clock=saved_clock,
+            policy_state=header["policy"],
+        )
+        for _ in range(expected):
+            body = read_record(handle)
+            if body is None:
+                raise SnapshotCorruptError(f"{path}: truncated item section")
+            if "k" not in body:
+                raise SnapshotCorruptError(f"{path}: malformed item record")
+            expire_at = float(body.get("e", 0.0))
+            if now is not None and expire_at:
+                expire_at = now + max(expire_at - saved_clock, 0.0)
+                if expire_at == 0.0:
+                    # an exactly-zero clock reading would decode as
+                    # "never expires"; nudge to "expired at epoch"
+                    expire_at = 5e-324
+            data.items.append(CacheItem(str(body["k"]), int(body["s"]),
+                                        body["c"], expire_at))
+            if "v" in body:
+                data.payloads[str(body["k"])] = decode_payload(body["v"])
+        footer = read_record(handle)
+        if footer is None or footer.get("kind") != "footer" \
+                or int(footer.get("items", -1)) != expected:
+            raise SnapshotCorruptError(f"{path}: missing or wrong footer")
+    return data
+
+
+def restore_snapshot(kvs: KVS, data: SnapshotData) -> List[CacheItem]:
+    """Install parsed snapshot state into an empty ``kvs``.
+
+    Returns items the policy had to evict when the restoring store is
+    smaller than the snapshot's origin.
+    """
+    return kvs.restore(data.items, data.policy_state)
+
+
+def snapshot_generations(directory: Union[str, os.PathLike]) -> List[int]:
+    """Generation numbers present in ``directory``, oldest first."""
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        return []
+    found = []
+    for entry in root.iterdir():
+        match = _SNAPSHOT_RE.match(entry.name)
+        if match:
+            found.append(int(match.group(1)))
+    return sorted(found)
+
+
+class Snapshotter:
+    """Generation-managed snapshots in one directory."""
+
+    def __init__(self, directory: Union[str, os.PathLike],
+                 keep_generations: int = 2) -> None:
+        if keep_generations < 1:
+            raise PersistenceError(
+                f"keep_generations must be >= 1, got {keep_generations}")
+        self._dir = pathlib.Path(directory)
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot create snapshot directory {self._dir}: {exc}"
+            ) from exc
+        self._keep = keep_generations
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self._dir
+
+    def path_for(self, generation: int) -> pathlib.Path:
+        return self._dir / f"snapshot-{generation:06d}.snap"
+
+    def generations(self) -> List[int]:
+        return snapshot_generations(self._dir)
+
+    def latest_generation(self) -> int:
+        """Newest generation on disk, 0 when none exist."""
+        generations = self.generations()
+        return generations[-1] if generations else 0
+
+    def save(self, kvs: KVS,
+             payloads: Optional[Mapping[str, bytes]] = None) -> int:
+        """Write the next generation; prunes old ones.  Returns the new
+        generation number."""
+        generation = self.latest_generation() + 1
+        save_snapshot(self.path_for(generation), kvs, payloads=payloads,
+                      generation=generation)
+        self.prune()
+        return generation
+
+    def load(self, generation: int, now: Optional[float] = None
+             ) -> SnapshotData:
+        return load_snapshot(self.path_for(generation), now=now)
+
+    def prune(self) -> List[int]:
+        """Drop all but the ``keep_generations`` newest; returns dropped."""
+        generations = self.generations()
+        stale = generations[:-self._keep] if len(generations) > self._keep \
+            else []
+        for generation in stale:
+            self.path_for(generation).unlink(missing_ok=True)
+        return stale

@@ -20,6 +20,8 @@ evictions — and growing by raising the receiver's budget.
 
 from __future__ import annotations
 
+import os
+import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -254,6 +256,76 @@ class TenantManager:
             tenant.ghost.reset_window()
         self.allocation_samples.append((self._accesses, self.allocations()))
         return transfer
+
+    # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def save_all(self, directory: Union[str, os.PathLike],
+                 keep_generations: int = 2) -> Dict[str, int]:
+        """Snapshot every partition into per-tenant subdirectories.
+
+        ``<directory>/<tenant>/snapshot-<gen>.snap`` — each tenant gets
+        its own generation sequence, so tenants can be restored (or lost
+        to corruption) independently.  Returns tenant -> new generation.
+        """
+        from repro.persistence import Snapshotter
+        root = pathlib.Path(directory)
+        generations: Dict[str, int] = {}
+        for name, tenant in self._tenants.items():
+            snapshotter = Snapshotter(root / name,
+                                      keep_generations=keep_generations)
+            generations[name] = snapshotter.save(tenant.kvs)
+        return generations
+
+    def restore_all(self, directory: Union[str, os.PathLike],
+                    adopt_allocations: bool = True) -> Dict[str, object]:
+        """Warm-start empty partitions from :meth:`save_all` output.
+
+        Tenants without a subdirectory (or without a healthy snapshot)
+        simply stay cold.  With ``adopt_allocations`` (the default) the
+        byte split the arbiter had learned at save time is re-applied
+        first — but only when every saved capacity still respects its
+        tenant's floor/ceiling and the saved split fits the current
+        budget; a changed configuration falls back to the current split,
+        and partitions restore into it (evicting overflow through the
+        restored policy).  Returns tenant -> RecoveryReport.
+        """
+        from repro.persistence import RecoveryManager
+        root = pathlib.Path(directory)
+        loaded: Dict[str, tuple] = {}
+        for name, tenant in self._tenants.items():
+            tenant_dir = root / name
+            if not tenant_dir.is_dir():
+                continue
+            manager = RecoveryManager(tenant_dir)
+            preloaded = manager.load_latest_snapshot(now=tenant.kvs.clock())
+            loaded[name] = (manager, preloaded)
+        if adopt_allocations:
+            self._adopt_saved_allocations(loaded)
+        reports: Dict[str, object] = {}
+        for name, (manager, preloaded) in loaded.items():
+            tenant = self._tenants[name]
+            reports[name] = manager.recover_into(tenant.kvs,
+                                                 preloaded=preloaded)
+        return reports
+
+    def _adopt_saved_allocations(self, loaded: Dict[str, tuple]) -> None:
+        """Re-apply the saved byte split when it is still valid."""
+        saved: Dict[str, int] = {}
+        for name, (_manager, (data, _path, _corrupt)) in loaded.items():
+            if data is None:
+                return
+            tenant = self._tenants[name]
+            if not (tenant.floor_bytes <= data.capacity
+                    <= tenant.ceiling_bytes):
+                return
+            saved[name] = data.capacity
+        current = sum(t.kvs.capacity for n, t in self._tenants.items()
+                      if n not in saved)
+        if not saved or current + sum(saved.values()) > self._total_bytes:
+            return
+        for name, capacity in saved.items():
+            self._tenants[name].kvs.resize(capacity)
 
     # ------------------------------------------------------------------
     # introspection

@@ -126,6 +126,19 @@ class SocketClient:
         self._send(b"version" + CRLF)
         return self._read_line().decode()
 
+    def save(self) -> bool:
+        """Ask the server to snapshot to its configured path.
+
+        False when the server refuses (no path configured / IO error).
+        """
+        self._send(b"save" + CRLF)
+        reply = self._read_line()
+        if reply == b"OK":
+            return True
+        if reply.startswith(b"SERVER_ERROR"):
+            return False
+        raise ProtocolError(f"unexpected reply {reply!r}")
+
     def close(self) -> None:
         try:
             self._send(b"quit" + CRLF)

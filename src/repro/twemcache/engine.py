@@ -29,6 +29,7 @@ with the simulator's KVS rather than re-implemented here.
 
 from __future__ import annotations
 
+import pathlib
 import random
 import threading
 import time
@@ -42,6 +43,19 @@ from repro.core.lru import LruPolicy
 from repro.core.policy import EvictionPolicy
 from repro.core.rounding import RatioConverter
 from repro.errors import ConfigurationError
+from repro.persistence.format import (
+    SNAPSHOT_MAGIC,
+    PersistenceError,
+    SnapshotCorruptError,
+    atomic_write,
+    decode_payload,
+    encode_payload,
+    read_magic,
+    read_record,
+    write_magic,
+    write_record,
+)
+from repro.persistence.manager import SnapshotThread
 from repro.twemcache.slab import ChunkRef, SlabAllocator
 
 __all__ = ["StoredItem", "TwemcacheEngine", "ITEM_HEADER_SIZE"]
@@ -166,10 +180,13 @@ class TwemcacheEngine:
                  slab_size: int = 1 << 20,
                  random_slab_eviction: bool = True,
                  clock: Optional[Callable[[], float]] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 snapshot_path: Optional[str] = None) -> None:
         """``eviction`` is ``"lru"`` (stock Twemcache) or ``"camp"`` (the
         paper's IQ-Twemcache variant).  ``clock`` is injectable for
-        deterministic expiry tests (defaults to ``time.monotonic``)."""
+        deterministic expiry tests (defaults to ``time.monotonic``).
+        ``snapshot_path`` is the default target of :meth:`save` (and the
+        protocol's ``save`` verb)."""
         if eviction not in ("lru", "camp"):
             raise ConfigurationError(
                 f"eviction must be 'lru' or 'camp', got {eviction!r}")
@@ -188,12 +205,16 @@ class TwemcacheEngine:
         # thread-safe as the engine's own methods
         self._store = Store(_SlabBackend(self), sizer=self._item_size,
                             lock=self._lock)
+        self._snapshot_path = snapshot_path
+        self._snapshot_daemon: Optional[SnapshotThread] = None
         # counters
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expired_reclaims = 0
         self.slab_reassignments = 0
+        self.snapshots_taken = 0
+        self.snapshot_errors = 0
 
     # ------------------------------------------------------------------
     # policy plumbing
@@ -391,6 +412,140 @@ class TwemcacheEngine:
         self._allocator.free(item.chunk)
 
     # ------------------------------------------------------------------
+    # durable state (the server's SAVE verb / background saver)
+    # ------------------------------------------------------------------
+    def save(self, path: Optional[str] = None) -> int:
+        """Atomically snapshot every live item to ``path`` (or the
+        configured ``snapshot_path``); returns the item count.
+
+        The slab engine's snapshot is *logical* — key, value bytes,
+        flags, remaining TTL, cost — not a dump of slab memory: chunk
+        layout is an allocation artifact that :meth:`load` rebuilds by
+        replaying ``set``, which also re-derives the per-class eviction
+        policies.  Items are written in table (insertion) order, so a
+        reloaded engine is warm but its LRU/CAMP recency is approximate;
+        exact priority round-trips live in :mod:`repro.persistence` for
+        the simulator KVS.
+        """
+        with self._lock:
+            target = path or self._snapshot_path
+            if target is None:
+                raise PersistenceError(
+                    "no snapshot path: pass save(path) or configure "
+                    "snapshot_path on the engine")
+            final = pathlib.Path(target)
+            try:
+                final.parent.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise PersistenceError(
+                    f"cannot create snapshot directory "
+                    f"{final.parent}: {exc}") from exc
+            now = self._clock()
+            items = [item for item in self._items.values()
+                     if not item.expired(now)]
+
+            def write_body(handle):
+                write_magic(handle, SNAPSHOT_MAGIC)
+                write_record(handle, {
+                    "kind": "twemcache", "version": 1, "clock": now,
+                    "items": len(items),
+                    "eviction": self._eviction_kind,
+                })
+                for item in items:
+                    write_record(handle, {
+                        "k": item.key, "v": encode_payload(item.value),
+                        "f": item.flags, "e": item.expire_at,
+                        "c": item.cost,
+                    })
+                write_record(handle, {"kind": "footer",
+                                      "items": len(items)})
+
+            atomic_write(final, write_body)
+            self.snapshots_taken += 1
+            return len(items)
+
+    def load(self, path: Optional[str] = None) -> int:
+        """Warm-start from a :meth:`save` file; returns items stored.
+
+        Expiry is rebased onto this engine's clock (remaining TTL
+        preserved; already-lapsed items are skipped).  Items the current
+        memory budget cannot admit are dropped by the normal allocation
+        path, not an error.
+        """
+        with self._lock:
+            target = path or self._snapshot_path
+            if target is None:
+                raise PersistenceError(
+                    "no snapshot path: pass load(path) or configure "
+                    "snapshot_path on the engine")
+            try:
+                handle = open(target, "rb")
+            except OSError as exc:
+                raise PersistenceError(
+                    f"cannot read snapshot {target}: {exc}") from exc
+            stored = 0
+            with handle:
+                read_magic(handle, SNAPSHOT_MAGIC)
+                header = read_record(handle)
+                if header is None or header.get("kind") != "twemcache":
+                    raise SnapshotCorruptError(
+                        f"{target}: not a twemcache snapshot")
+                saved_clock = float(header["clock"])
+                expected = int(header["items"])
+                for _ in range(expected):
+                    body = read_record(handle)
+                    if body is None or "k" not in body:
+                        raise SnapshotCorruptError(
+                            f"{target}: truncated item section")
+                    expire_after = 0.0
+                    expire_at = float(body.get("e", 0.0))
+                    if expire_at:
+                        expire_after = expire_at - saved_clock
+                        if expire_after <= 0:
+                            continue
+                    if self.set(str(body["k"]), decode_payload(body["v"]),
+                                flags=int(body.get("f", 0)),
+                                expire_after=expire_after,
+                                cost=body.get("c", 0)):
+                        stored += 1
+                footer = read_record(handle)
+                if footer is None or footer.get("kind") != "footer" \
+                        or int(footer.get("items", -1)) != expected:
+                    raise SnapshotCorruptError(
+                        f"{target}: missing or wrong footer")
+            return stored
+
+    def start_snapshot_daemon(self, interval: float = 30.0,
+                              path: Optional[str] = None) -> SnapshotThread:
+        """Save every ``interval`` seconds in a background thread."""
+        if self._snapshot_daemon is not None and self._snapshot_daemon.running:
+            raise PersistenceError("snapshot daemon already running")
+        if path is not None:
+            self._snapshot_path = path
+        if self._snapshot_path is None:
+            raise PersistenceError(
+                "no snapshot path configured for the snapshot daemon")
+
+        def _on_error(_exc: Exception) -> None:
+            self.snapshot_errors += 1
+
+        self._snapshot_daemon = SnapshotThread(
+            self.save, interval=interval, name="twemcache-snapshot",
+            on_error=_on_error).start()
+        return self._snapshot_daemon
+
+    def stop_snapshot_daemon(self, final_save: bool = True) -> None:
+        """Stop the background saver (writing one last snapshot by
+        default); no-op when none is running."""
+        if self._snapshot_daemon is not None:
+            self._snapshot_daemon.stop(final_save=final_save)
+            self._snapshot_daemon = None
+
+    @property
+    def snapshot_path(self) -> Optional[str]:
+        return self._snapshot_path
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -441,6 +596,8 @@ class TwemcacheEngine:
                 "evictions": self.evictions,
                 "expired_reclaims": self.expired_reclaims,
                 "slab_reassignments": self.slab_reassignments,
+                "snapshots_taken": self.snapshots_taken,
+                "snapshot_errors": self.snapshot_errors,
             }
             stats.update(self._allocator.stats())
             return stats

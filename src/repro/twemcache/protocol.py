@@ -17,6 +17,10 @@ Implemented subset (requests end with CRLF; values are raw bytes):
   memcached)
 * ``touch <key> <exptime>`` → ``TOUCHED`` | ``NOT_FOUND``
 * ``flush_all`` → ``OK``
+* ``save`` → ``OK`` | ``SERVER_ERROR ...`` — this reproduction's admin
+  verb (Redis's ``SAVE`` analogue): snapshot every live item to the
+  engine's configured snapshot path.  The path is server-side
+  configuration, never taken from the wire.
 * ``stats`` → ``STAT <name> <value>`` lines then ``END``
 * ``version``, ``quit``
 
@@ -117,7 +121,7 @@ def parse_command_line(line: bytes) -> Request:
             raise ProtocolError("touch requires: key exptime")
         exptime = float(parse_number(parts[2], "exptime"))
         return Request(command="touch", keys=[parts[1]], exptime=exptime)
-    if command in ("stats", "version", "quit", "flush_all"):
+    if command in ("stats", "version", "quit", "flush_all", "save"):
         if len(parts) != 1:
             raise ProtocolError(f"{command} takes no arguments")
         return Request(command=command)

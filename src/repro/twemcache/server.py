@@ -13,7 +13,7 @@ import socketserver
 import threading
 from typing import Optional, Tuple
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError
 from repro.twemcache.engine import TwemcacheEngine
 from repro.twemcache.protocol import (
     CRLF,
@@ -89,6 +89,13 @@ class _Handler(socketserver.StreamRequestHandler):
             elif request.command == "flush_all":
                 engine.flush_all()
                 self.wfile.write(b"OK" + CRLF)
+            elif request.command == "save":
+                try:
+                    engine.save()
+                except ReproError as exc:
+                    self.wfile.write(f"SERVER_ERROR {exc}".encode() + CRLF)
+                else:
+                    self.wfile.write(b"OK" + CRLF)
 
 
 class _ThreadedTCPServer(socketserver.ThreadingTCPServer):

@@ -128,9 +128,21 @@ def _open_write(path: Union[str, os.PathLike]) -> io.TextIOBase:
     return open(text, "w", encoding="utf-8")
 
 
+#: gzip files start with these two bytes regardless of their name
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def _open_read(path: Union[str, os.PathLike]) -> io.TextIOBase:
+    """Open for reading, sniffing gzip by magic bytes.
+
+    Detection is content-based (the ``\\x1f\\x8b`` magic), not by the
+    ``.gz`` suffix: traces piped through tooling — snapshot exports,
+    ``curl -o``, mktemp names — often lose their extension.
+    """
     text = str(path)
-    if text.endswith(".gz"):
+    with open(text, "rb") as probe:
+        compressed = probe.read(2) == _GZIP_MAGIC
+    if compressed:
         return io.TextIOWrapper(gzip.open(text, "rb"), encoding="utf-8")
     return open(text, "r", encoding="utf-8")
 

@@ -97,3 +97,59 @@ class TestCommands:
         assert main(["gen-trace", kind, path,
                      "--keys", "50", "--requests", "500"]) == 0
         assert "wrote" in capsys.readouterr().out
+
+
+class TestPersistCommands:
+    def _trace(self, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        assert main(["gen-trace", "three-cost", path,
+                     "--keys", "80", "--requests", "2000"]) == 0
+        return path
+
+    def test_persist_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["persist"])
+
+    def test_save_inspect_restore_compact_round_trip(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        state = str(tmp_path / "state")
+        assert main(["persist", "save", trace, state, "--ratio", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot generation" in out
+
+        assert main(["persist", "inspect", state]) == 0
+        out = capsys.readouterr().out
+        assert "policy camp" in out and "clean" in out
+
+        assert main(["persist", "restore", state]) == 0
+        out = capsys.readouterr().out
+        assert "recovered generation" in out and "policy            : camp" in out
+
+        assert main(["persist", "compact", state]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "fresh log has 0 operations" in out
+
+    def test_save_warm_continues_by_default_and_cold_on_request(
+            self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        state = str(tmp_path / "state")
+        assert main(["persist", "save", trace, state]) == 0
+        capsys.readouterr()
+        assert main(["persist", "save", trace, state]) == 0
+        assert "warm-continuing" in capsys.readouterr().out
+        assert main(["persist", "save", trace, state, "--cold"]) == 0
+        assert "warm-continuing" not in capsys.readouterr().out
+
+    def test_restore_empty_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["persist", "restore", str(tmp_path / "nothing")]) == 1
+        assert "no loadable snapshot" in capsys.readouterr().err
+
+    def test_inspect_reports_corruption(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        state = tmp_path / "state"
+        assert main(["persist", "save", trace, str(state)]) == 0
+        capsys.readouterr()
+        snapshots = sorted(state.glob("snapshot-*.snap"))
+        snapshots[-1].write_bytes(b"\x00" * 32)
+        assert main(["persist", "inspect", str(state)]) == 0
+        assert "CORRUPT" in capsys.readouterr().out

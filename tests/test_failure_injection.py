@@ -10,10 +10,19 @@ import threading
 import pytest
 
 from repro.cache import KVS
+from repro.cache.store import StoreConfig
 from repro.cluster import CooperativeCluster
-from repro.core import LruPolicy
+from repro.core import LruPolicy, make_policy
 from repro.core.policy import EvictionPolicy
 from repro.errors import ProtocolError, ReproError
+from repro.persistence import (
+    AppendOnlyLog,
+    PersistenceError,
+    RecoveryManager,
+    Snapshotter,
+    log_path_for,
+    snapshot_generations,
+)
 from repro.twemcache import SocketClient, TwemcacheEngine, TwemcacheServer
 
 
@@ -123,6 +132,131 @@ class TestCrashingPolicy:
         assert kvs.used_bytes == sum(
             item.size for item in kvs.resident_items())
         assert kvs.used_bytes <= kvs.capacity
+
+
+class TestPersistenceFailures:
+    """Durable state under crashes: kills mid-save, torn logs, bit rot."""
+
+    def _snapshot_once(self, tmp_path, keys=20):
+        kvs = KVS(10_000, make_policy("camp", 10_000))
+        for i in range(keys):
+            kvs.insert(f"k{i}", 40, 10)
+        Snapshotter(tmp_path).save(kvs)
+        return kvs
+
+    def test_kill_mid_snapshot_leaves_old_generation_intact(self, tmp_path,
+                                                            monkeypatch):
+        import repro.persistence.snapshot as snapshot_module
+        original = self._snapshot_once(tmp_path)
+        # the kill lands between writing the temp file and publishing it:
+        # os.replace never runs, so generation 1 must stay authoritative
+        killed = {}
+
+        def die_before_publish(src, dst):
+            killed["temp"] = src
+            raise OSError("killed -9 (injected)")
+
+        monkeypatch.setattr(snapshot_module.os, "replace",
+                            die_before_publish)
+        with pytest.raises(PersistenceError):
+            Snapshotter(tmp_path).save(original)
+        monkeypatch.undo()
+        assert snapshot_generations(tmp_path) == [1]
+        target = KVS(10_000, make_policy("camp", 10_000))
+        report = RecoveryManager(tmp_path).recover_into(target)
+        assert report.generation == 1
+        assert len(target) == len(original)
+
+    def test_orphan_temp_file_is_ignored_by_recovery(self, tmp_path):
+        original = self._snapshot_once(tmp_path)
+        # a killed process can leave the temp file behind with no chance
+        # to clean up; recovery must not even look at it
+        (tmp_path / "snapshot-000002.snap.tmp").write_bytes(b"half-writ")
+        target = KVS(10_000, make_policy("camp", 10_000))
+        report = RecoveryManager(tmp_path).recover_into(target)
+        assert report.generation == 1
+        assert len(target) == len(original)
+
+    def test_truncated_log_tail_replays_valid_prefix(self, tmp_path):
+        self._snapshot_once(tmp_path)
+        log_path = log_path_for(tmp_path, 1)
+        with AppendOnlyLog(log_path) as log:
+            log.log_insert("post1", 40, 10)
+            log.log_insert("post2", 40, 10)
+        with open(log_path, "rb+") as handle:
+            handle.truncate(log_path.stat().st_size - 5)   # torn tail
+        target = KVS(10_000, make_policy("camp", 10_000))
+        report = RecoveryManager(tmp_path).recover_into(target)
+        assert report.torn_tail_truncated
+        assert report.log_records_replayed == 1
+        assert "post1" in target and "post2" not in target
+        # the repair really truncated: a second recovery reads it clean
+        second = KVS(10_000, make_policy("camp", 10_000))
+        assert not RecoveryManager(tmp_path).recover_into(
+            second).torn_tail_truncated
+
+    def test_garbage_log_tail_replays_valid_prefix(self, tmp_path):
+        self._snapshot_once(tmp_path)
+        log_path = log_path_for(tmp_path, 1)
+        with AppendOnlyLog(log_path) as log:
+            log.log_insert("post1", 40, 10)
+        with open(log_path, "ab") as handle:
+            handle.write(b"\xff" * 37)   # garbage, not a torn frame
+        target = KVS(10_000, make_policy("camp", 10_000))
+        report = RecoveryManager(tmp_path).recover_into(target)
+        assert report.log_records_replayed == 1
+        assert report.torn_tail_truncated
+        assert "post1" in target
+
+    def test_checksum_mismatched_snapshot_falls_back_a_generation(
+            self, tmp_path):
+        kvs = KVS(10_000, make_policy("camp", 10_000))
+        snapshotter = Snapshotter(tmp_path, keep_generations=2)
+        for i in range(10):
+            kvs.insert(f"old{i}", 40, 10)
+        snapshotter.save(kvs)
+        kvs.insert("newer", 40, 10)
+        snapshotter.save(kvs)
+        # bit rot inside generation 2's item section
+        newest = snapshotter.path_for(2)
+        raw = bytearray(newest.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        newest.write_bytes(bytes(raw))
+        target = KVS(10_000, make_policy("camp", 10_000))
+        report = RecoveryManager(tmp_path).recover_into(target)
+        assert report.corrupt_generations == [2]
+        assert report.generation == 1
+        assert "newer" not in target and "old3" in target
+
+    def test_every_generation_corrupt_recovers_empty(self, tmp_path):
+        self._snapshot_once(tmp_path)
+        path = Snapshotter(tmp_path).path_for(1)
+        path.write_bytes(b"\x00" * 64)
+        target = KVS(10_000, make_policy("camp", 10_000))
+        report = RecoveryManager(tmp_path).recover_into(target)
+        assert not report.recovered
+        assert report.corrupt_generations == [1]
+        assert len(target) == 0
+
+    def test_store_warm_build_survives_corrupt_newest_generation(
+            self, tmp_path):
+        store = (StoreConfig(10_000).policy("camp")
+                 .persistence(tmp_path, keep_generations=2).build())
+        store.put("a", 40, 10)
+        store.save()
+        store.put("b", 40, 10)
+        generation = store.save()
+        store.persistence.close()
+        newest = Snapshotter(tmp_path).path_for(generation)
+        raw = bytearray(newest.read_bytes())
+        raw[-10] ^= 0x10
+        newest.write_bytes(bytes(raw))
+        warm = (StoreConfig(10_000).policy("camp")
+                .persistence(tmp_path, keep_generations=2).build())
+        assert warm.last_recovery.corrupt_generations == [generation]
+        assert warm.last_recovery.generation == generation - 1
+        assert "a" in warm
+        warm.persistence.close()
 
 
 class TestClusterNodeLoss:

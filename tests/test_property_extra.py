@@ -23,7 +23,7 @@ class TestProtocolFuzz:
             return
         assert request.command in {"get", "set", "add", "replace", "delete",
                                    "incr", "decr", "touch", "stats",
-                                   "version", "quit", "flush_all"}
+                                   "version", "quit", "flush_all", "save"}
 
     @settings(max_examples=100, deadline=None)
     @given(key=st.text(alphabet=st.characters(min_codepoint=33,

@@ -101,6 +101,26 @@ class TestTraceRecordIO:
         back = read_trace(path)
         assert list(back) == list(trace)
 
+    def test_gzip_detected_by_magic_without_suffix(self, tmp_path):
+        # a gzip trace that lost its .gz name (piped through tooling)
+        # must still load: detection is by the \x1f\x8b magic bytes
+        trace = three_cost_trace(n_keys=20, n_requests=100, seed=1)
+        gz_path = tmp_path / "t.csv.gz"
+        write_trace(trace, gz_path)
+        bare = tmp_path / "exported-trace"
+        bare.write_bytes(gz_path.read_bytes())
+        back = read_trace(bare)
+        assert list(back) == list(trace)
+
+    def test_plain_text_named_gz_still_reads(self, tmp_path):
+        # the converse mislabel: plain CSV wearing a .gz suffix
+        trace = three_cost_trace(n_keys=10, n_requests=50, seed=2)
+        plain = tmp_path / "t.csv"
+        write_trace(trace, plain)
+        mislabeled = tmp_path / "mislabeled.csv.gz"
+        mislabeled.write_bytes(plain.read_bytes())
+        assert list(read_trace(mislabeled)) == list(trace)
+
 
 class TestTraceAggregates:
     def test_unique_bytes(self):
