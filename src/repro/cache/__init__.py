@@ -12,6 +12,7 @@ from repro.cache.metrics import (
     WindowedMetrics,
     default_namespace,
 )
+from repro.cache.async_store import AsyncStore
 from repro.cache.outcomes import AccessResult, BatchResult, Computed, Outcome
 from repro.cache.store import Store, StoreConfig
 
@@ -19,6 +20,7 @@ __all__ = [
     "KVS",
     "CacheListener",
     "Store",
+    "AsyncStore",
     "StoreConfig",
     "Outcome",
     "AccessResult",

@@ -1,0 +1,185 @@
+"""``AsyncStore`` — the asyncio face of the unified Store facade.
+
+Wraps a sync :class:`~repro.cache.store.Store` (built by the same
+:class:`~repro.cache.store.StoreConfig`, via ``build_async()``), so
+outcome types, TTL handling, metrics, and persistence hooks are all
+literally shared — there is one store; this class changes *when* work
+happens, not what it decides:
+
+* Cache-resident requests (hits, puts, deletes, batches) execute inline
+  on the event loop — they are in-memory operations measured in
+  microseconds, cheaper than any executor hand-off.
+* ``get_or_compute`` misses await the loader (a coroutine function, a
+  coroutine-returning callable, or a plain sync callable) **without
+  blocking the loop**, and are **single-flight**: every concurrent
+  awaiter of one missing key attaches to the same in-flight load and
+  shares its one admission decision; late arrivals get the shared
+  result marked ``coalesced=True``.  A cancelled awaiter does not
+  cancel the load (it is shielded): the work completes once and the
+  cache keeps the value.
+
+One event loop per AsyncStore: the wrapper keeps its flight table as
+plain dicts guarded by loop atomicity.  The underlying sync store may
+still be shared with threads (its own locks apply).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import time
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, Optional, Sequence, Union
+
+from repro.cache.kvs import PutEntry
+from repro.cache.outcomes import AccessResult, BatchResult, Outcome
+from repro.cache.store import Store
+
+__all__ = ["AsyncStore"]
+
+Number = Union[int, float]
+
+#: loader(key) -> value | Computed | awaitable of either
+AsyncLoader = Callable[[str], object]
+
+
+class AsyncStore:
+    """Asyncio-native read-through facade over a sync :class:`Store`."""
+
+    def __init__(self, store: Store) -> None:
+        self._store = store
+        self._flights: Dict[str, asyncio.Task] = {}
+        #: loader invocations this wrapper actually awaited
+        self.loads = 0
+        #: get_or_compute calls answered by an already-in-flight load
+        self.coalesced_loads = 0
+
+    # ------------------------------------------------------------------
+    # the read-through path
+    # ------------------------------------------------------------------
+    async def get_or_compute(self, key: str, loader: AsyncLoader,
+                             ttl: Optional[float] = None,
+                             size: Optional[int] = None,
+                             cost: Optional[Number] = None) -> AccessResult:
+        """Await the cached value or recompute-and-insert, coalescing
+        concurrent misses of one key into a single loader invocation.
+
+        Semantics match :meth:`Store.get_or_compute` (measured cost(p),
+        Computed overrides, always-usable value); the loader may be
+        async and runs off the store lock.
+        """
+        flight = self._flights.get(key)
+        if flight is None:
+            store = self._store
+            with store._lock:
+                outcome = store._backend.lookup(key)
+                if outcome is Outcome.HIT and not store._value_lost(key):
+                    return store._hit_access(key)
+            expired = outcome is Outcome.EXPIRED
+            flight = asyncio.ensure_future(
+                self._load(key, loader, ttl, size, cost, expired))
+            self._flights[key] = flight
+            flight.add_done_callback(
+                lambda _task: self._flights.pop(key, None))
+            return await asyncio.shield(flight)
+        self.coalesced_loads += 1
+        result = await asyncio.shield(flight)
+        return replace(result, coalesced=True)
+
+    async def _load(self, key: str, loader: AsyncLoader,
+                    ttl: Optional[float], size: Optional[int],
+                    cost: Optional[Number], expired: bool) -> AccessResult:
+        """The leader's half: await the loader, then adjudicate under
+        the store lock exactly like the sync miss path."""
+        store = self._store
+        started = time.perf_counter()
+        loaded = loader(key)
+        if inspect.isawaitable(loaded):
+            loaded = await loaded
+        elapsed = time.perf_counter() - started
+        self.loads += 1
+        with store._lock:
+            # the key may have become resident while the loader ran
+            # (an external put, or a lost-value hit being re-adopted)
+            outcome = store._backend.lookup(key)
+            if outcome is Outcome.HIT:
+                if store._value_lost(key):
+                    return store._adopt_reloaded(key, loaded)
+                return store._hit_access(key)
+            expired = expired or outcome is Outcome.EXPIRED
+            return store._store_loaded(key, loaded, size, cost, ttl,
+                                       elapsed, expired)
+
+    # ------------------------------------------------------------------
+    # inline (in-memory) operations — thin delegation
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> AccessResult:
+        return self._store.get(key)
+
+    def put(self, key: str, size: int, cost: Number = 0.0,
+            ttl: Optional[float] = None, value: object = None,
+            **meta: object) -> AccessResult:
+        return self._store.put(key, size, cost, ttl=ttl, value=value,
+                               **meta)
+
+    def access(self, key: str, size: int, cost: Number,
+               ttl: Optional[float] = None) -> AccessResult:
+        return self._store.access(key, size, cost, ttl=ttl)
+
+    def get_many(self, keys: Sequence[str]) -> BatchResult:
+        return self._store.get_many(keys)
+
+    def put_many(self, entries: Iterable[PutEntry]) -> BatchResult:
+        return self._store.put_many(entries)
+
+    def delete(self, key: str) -> bool:
+        return self._store.delete(key)
+
+    def touch(self, key: str, ttl: Optional[float] = None) -> bool:
+        return self._store.touch(key, ttl)
+
+    # ------------------------------------------------------------------
+    # durability & introspection
+    # ------------------------------------------------------------------
+    async def save(self) -> int:
+        """Write a snapshot generation without stalling the event loop
+        (snapshots do real file IO, so it runs in a worker thread)."""
+        return await asyncio.to_thread(self._store.save)
+
+    @property
+    def persistence(self):
+        return self._store.persistence
+
+    @property
+    def last_recovery(self):
+        return self._store.last_recovery
+
+    @property
+    def store(self) -> Store:
+        """The wrapped sync store (one state, two calling conventions)."""
+        return self._store
+
+    @property
+    def backend(self):
+        return self._store.backend
+
+    @property
+    def metrics(self):
+        return self._store.metrics
+
+    @property
+    def inflight(self) -> int:
+        """Loads currently being awaited (distinct keys)."""
+        return len(self._flights)
+
+    def stats(self) -> Dict[str, Number]:
+        return self._store.stats()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def check_consistency(self) -> None:
+        self._store.check_consistency()

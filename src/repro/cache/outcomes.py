@@ -51,8 +51,10 @@ class AccessResult:
 
     ``resident`` is the key's membership *after* the call; ``expired``
     flags that the lookup found a lapsed entry (set even when the
-    follow-up insert gave the final ``outcome``).  Truthiness means HIT,
-    matching the old ``KVS.get`` bool.
+    follow-up insert gave the final ``outcome``).  ``coalesced`` marks a
+    result shared from another caller's in-flight load (single-flight
+    ``get_or_compute``): this caller paid no loader invocation of its
+    own.  Truthiness means HIT, matching the old ``KVS.get`` bool.
     """
 
     key: str
@@ -62,6 +64,7 @@ class AccessResult:
     value: object = None
     resident: bool = False
     expired: bool = False
+    coalesced: bool = False
 
     @property
     def hit(self) -> bool:

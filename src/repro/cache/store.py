@@ -37,7 +37,9 @@ the engine's own methods.
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import replace
 from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
                     Union)
 
@@ -72,6 +74,33 @@ class _NoLock:
 
 
 _NO_LOCK = _NoLock()
+
+
+class _Flight:
+    """One in-progress load that concurrent callers of the same missing
+    key attach to instead of recomputing (the single-flight guarantee)."""
+
+    __slots__ = ("_event", "result", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.result: Optional[AccessResult] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, result: AccessResult) -> None:
+        self.result = result
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._event.set()
+
+    def wait(self) -> AccessResult:
+        self._event.wait()
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return replace(self.result, coalesced=True)
 
 
 class _ValueReaper:
@@ -119,6 +148,14 @@ class Store:
         #: for cold builds); set by StoreConfig.persistence wiring
         self.last_recovery = None
         self.metrics = metrics
+        # single-flight bookkeeping: per-key in-progress loads, guarded
+        # by their own mutex (never held while a loader runs)
+        self._flights: Dict[str, _Flight] = {}
+        self._flights_mutex = threading.Lock()
+        #: loader invocations this store actually paid for
+        self.loads = 0
+        #: get_or_compute calls answered by someone else's in-flight load
+        self.coalesced_loads = 0
 
     # ------------------------------------------------------------------
     # single-key requests
@@ -200,57 +237,124 @@ class Store:
         does.  The result's ``value`` is always usable — even when the
         insert was rejected, the freshly computed value is handed back.
 
-        When the store holds a lock, the loader runs *under* it: a
-        concurrent stampede on one key computes once, but a slow loader
-        blocks other store operations for its duration (per-key dogpile
-        guards are future work).
+        Misses are **single-flight**: concurrent callers of the same
+        missing key share one loader invocation and one admission
+        decision — the first caller loads, the rest block until it
+        resolves and receive the same result marked ``coalesced=True``
+        (a thundering herd pays cost(p) once, the exact waste CAMP's
+        cost model exists to avoid).  A loader failure propagates to
+        every waiter.  Note that when the store holds a whole-store
+        lock the loader still runs *under* it, so coalescing there is
+        implicit (followers block on the lock, then hit).
         """
         with self._lock:
             outcome = self._backend.lookup(key)
             if outcome is Outcome.HIT:
-                item = self._peek(key)
-                item_size = item.size if item is not None else 0
-                item_cost = item.cost if item is not None else 0.0
-                if self.metrics is not None:
-                    self.metrics.record(key, item_size, item_cost, True)
-                value = self._value_of(key)
-                if value is None and key in self._lost_values:
-                    # a warm restart's AOL replay rebuilt this key's
-                    # residency without its payload (the log records
-                    # metadata only); honour the "value is always usable"
-                    # contract by recomputing once and re-memoizing,
-                    # while residency/policy still count a hit.  Keys
-                    # that never had a value (metadata-only callers,
-                    # negative-caching loaders) are not in the set and
-                    # keep the plain HIT-with-None behaviour.
-                    self._lost_values.discard(key)
+                return self._hit_access(key, loader)
+        expired = outcome is Outcome.EXPIRED
+        flight, leader = self._join_flight(key)
+        if not leader:
+            return flight.wait()
+        try:
+            with self._lock:
+                # re-probe under leadership: the previous leader may
+                # have inserted while this caller was joining
+                outcome = self._backend.lookup(key)
+                if outcome is Outcome.HIT:
+                    result = self._hit_access(key, loader)
+                else:
+                    expired = expired or outcome is Outcome.EXPIRED
+                    started = time.perf_counter()
                     loaded = loader(key)
-                    value = loaded.value if isinstance(loaded, Computed) \
-                        else loaded
-                    if value is not None:
-                        self._memoize(key, value)
-                return AccessResult(key, outcome, size=item_size,
-                                    cost=item_cost,
-                                    value=value, resident=True)
-            expired = outcome is Outcome.EXPIRED
-            started = time.perf_counter()
-            loaded = loader(key)
-            elapsed = time.perf_counter() - started
-            value, size, cost, ttl = self._resolve_computed(
-                key, loaded, size, cost, ttl, elapsed)
-            if self._backend_stores_values:
-                outcome = self._backend.insert(key, size, cost, ttl=ttl,
-                                               value=value)
-            else:
-                outcome = self._backend.insert(key, size, cost, ttl=ttl)
-                if outcome is Outcome.MISS_INSERTED and value is not None:
-                    self._memoize(key, value)
-            if self.metrics is not None:
-                self.metrics.record(key, size, cost, False)
-            return AccessResult(key, outcome, size=size, cost=cost,
-                                value=value,
-                                resident=outcome is Outcome.MISS_INSERTED,
-                                expired=expired)
+                    elapsed = time.perf_counter() - started
+                    self.loads += 1
+                    result = self._store_loaded(key, loaded, size, cost,
+                                                ttl, elapsed, expired)
+            flight.resolve(result)
+            return result
+        except BaseException as exc:
+            flight.fail(exc)
+            raise
+        finally:
+            self._leave_flight(key, flight)
+
+    # -- single-flight plumbing (shared with AsyncStore) ----------------
+    def _join_flight(self, key: str):
+        """Return ``(flight, leader)``: attach to the key's in-progress
+        load, or open a new one and become its leader."""
+        with self._flights_mutex:
+            flight = self._flights.get(key)
+            if flight is not None:
+                self.coalesced_loads += 1
+                return flight, False
+            flight = _Flight()
+            self._flights[key] = flight
+            return flight, True
+
+    def _leave_flight(self, key: str, flight: _Flight) -> None:
+        with self._flights_mutex:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+
+    def _value_lost(self, key: str) -> bool:
+        """A warm restart left this key resident without its payload."""
+        return key in self._lost_values and self._value_of(key) is None
+
+    def _hit_access(self, key: str,
+                    loader: Optional[Loader] = None) -> AccessResult:
+        """Build the HIT result for a resident key (metrics recorded).
+
+        When a warm restart's AOL replay rebuilt the key's residency
+        without its payload (the log records metadata only) and a
+        ``loader`` is given, honour the "value is always usable"
+        contract by recomputing once and re-memoizing, while
+        residency/policy still count a hit.  Keys that never had a
+        value (metadata-only callers, negative-caching loaders) keep
+        the plain HIT-with-None behaviour.  Caller holds the store
+        lock.
+        """
+        if loader is not None and self._value_lost(key):
+            return self._adopt_reloaded(key, loader(key))
+        return self._hit_result(key, self._value_of(key))
+
+    def _adopt_reloaded(self, key: str, loaded: object) -> AccessResult:
+        """Memoize a freshly recomputed payload for a lost-value hit."""
+        self._lost_values.discard(key)
+        value = loaded.value if isinstance(loaded, Computed) else loaded
+        if value is not None:
+            self._memoize(key, value)
+        return self._hit_result(key, value)
+
+    def _hit_result(self, key: str, value: object) -> AccessResult:
+        item = self._peek(key)
+        item_size = item.size if item is not None else 0
+        item_cost = item.cost if item is not None else 0.0
+        if self.metrics is not None:
+            self.metrics.record(key, item_size, item_cost, True)
+        return AccessResult(key, Outcome.HIT, size=item_size,
+                            cost=item_cost, value=value, resident=True)
+
+    def _store_loaded(self, key: str, loaded: object,
+                      size: Optional[int], cost: Optional[Number],
+                      ttl: Optional[float], elapsed: float,
+                      expired: bool) -> AccessResult:
+        """Insert a loader's product (the miss half of get_or_compute);
+        caller holds the store lock."""
+        value, size, cost, ttl = self._resolve_computed(
+            key, loaded, size, cost, ttl, elapsed)
+        if self._backend_stores_values:
+            outcome = self._backend.insert(key, size, cost, ttl=ttl,
+                                           value=value)
+        else:
+            outcome = self._backend.insert(key, size, cost, ttl=ttl)
+            if outcome is Outcome.MISS_INSERTED and value is not None:
+                self._memoize(key, value)
+        if self.metrics is not None:
+            self.metrics.record(key, size, cost, False)
+        return AccessResult(key, outcome, size=size, cost=cost,
+                            value=value,
+                            resident=outcome is Outcome.MISS_INSERTED,
+                            expired=expired)
 
     def _resolve_computed(self, key: str, loaded: object,
                           size: Optional[int], cost: Optional[Number],
@@ -546,6 +650,17 @@ class StoreConfig:
         if self._persistence_config is not None:
             self._wire_persistence(store, kvs)
         return store
+
+    def build_async(self):
+        """Build the same store wrapped for asyncio callers: an
+        :class:`~repro.cache.async_store.AsyncStore` whose
+        ``get_or_compute`` awaits (async or sync) loaders off the event
+        loop's critical path with single-flight coalescing.  All
+        configuration — policy, admission, TTL clock, metrics,
+        persistence — is shared with :meth:`build`.
+        """
+        from repro.cache.async_store import AsyncStore
+        return AsyncStore(self.build())
 
     def _wire_persistence(self, store: Store, kvs: KVS) -> None:
         """Recover (before the op logger attaches, so restored items are

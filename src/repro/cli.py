@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--memory-mb", type=int, default=64)
     serve_cmd.add_argument("--eviction", default="camp",
                            choices=("lru", "camp"))
+    serve_cmd.add_argument("--async", dest="use_async", action="store_true",
+                           help="serve on one asyncio event loop "
+                                "(pipelined) instead of a thread per "
+                                "connection")
 
     analyze_cmd = sub.add_parser(
         "analyze", help="profile a trace (skew, sizes, costs, working set)")
@@ -263,11 +267,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.twemcache import TwemcacheEngine, TwemcacheServer
+    from repro.twemcache import (AsyncTwemcacheServer, TwemcacheEngine,
+                                 TwemcacheServer)
     engine = TwemcacheEngine(args.memory_mb << 20, eviction=args.eviction)
-    server = TwemcacheServer(engine, port=args.port).start()
+    if args.use_async:
+        server = AsyncTwemcacheServer(engine, port=args.port).start()
+        flavor = f"{args.eviction}, asyncio pipelined"
+    else:
+        server = TwemcacheServer(engine, port=args.port).start()
+        flavor = f"{args.eviction}, threaded"
     host, port = server.address
-    print(f"twemcache-like server ({args.eviction}) on {host}:{port}; "
+    print(f"twemcache-like server ({flavor}) on {host}:{port}; "
           f"Ctrl-C to stop")
     try:
         import time

@@ -11,12 +11,14 @@ routing to the twemcache server for protocol-level isolation.
 
 from __future__ import annotations
 
+from repro.tenancy.aio import AsyncEngineAdapter
 from repro.tenancy.arbiter import Arbiter, Transfer
 from repro.tenancy.engine import TenantedEngine
 from repro.tenancy.ghost import GhostCache, GhostHit
 from repro.tenancy.manager import Tenant, TenantManager, TenantSpec
 
 __all__ = [
+    "AsyncEngineAdapter",
     "Arbiter",
     "Transfer",
     "GhostCache",

@@ -1,0 +1,131 @@
+"""Async adapter for engines — tenancy's entry to the asyncio surface.
+
+:class:`AsyncEngineAdapter` fronts any object with the twemcache engine
+duck type (:class:`~repro.twemcache.engine.TwemcacheEngine`, the
+multi-tenant :class:`~repro.tenancy.engine.TenantedEngine`, …) for
+asyncio callers:
+
+* in-memory verbs (``get``/``set``/``delete``/``incr``/``touch``/…)
+  run inline — they are microsecond dict-and-policy work, cheaper than
+  any executor hop;
+* ``get_or_compute`` awaits (possibly async) loaders **off** the engine
+  lock with per-key single-flight coalescing, so a thundering herd of
+  tasks missing one tenant key pays its recomputation cost(p) once —
+  the same guarantee :class:`~repro.cache.async_store.AsyncStore` gives
+  the simulator-facing store, applied at the tenant-routing layer.
+
+``TenantedEngine.async_adapter()`` is the conventional way to get one.
+An adapter belongs to a single event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import time
+from typing import Dict, Optional, Union
+
+__all__ = ["AsyncEngineAdapter"]
+
+Number = Union[int, float]
+
+
+class AsyncEngineAdapter:
+    """Asyncio face over a (possibly tenant-routing) engine."""
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self._flights: Dict[str, asyncio.Task] = {}
+        self.loads = 0
+        self.coalesced_loads = 0
+
+    @property
+    def engine(self):
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # read-through with single-flight
+    # ------------------------------------------------------------------
+    async def get_or_compute(self, key: str, loader,
+                             expire_after: float = 0,
+                             cost: Optional[Number] = None):
+        """Return the live item or await-load-and-set exactly once per
+        concurrent stampede; extra awaiters share the leader's item.
+
+        Any miss — cold or TTL-lapsed — is counted exactly once, by the
+        leader's ``engine.get_or_compute``, matching the sync surface:
+        the resident probe records hits but not misses
+        (``record_miss=False``), and coalesced followers record
+        nothing, like AsyncStore's.
+        """
+        item = self._engine.get(key, record_miss=False)
+        if item is not None:
+            return item
+        flight = self._flights.get(key)
+        if flight is None:
+            flight = asyncio.ensure_future(
+                self._load(key, loader, expire_after, cost))
+            self._flights[key] = flight
+            flight.add_done_callback(
+                lambda _task: self._flights.pop(key, None))
+            self.loads += 1
+        else:
+            self.coalesced_loads += 1
+        return await asyncio.shield(flight)
+
+    async def _load(self, key: str, loader, expire_after: float,
+                    cost: Optional[Number]):
+        started = time.perf_counter()
+        value = loader(key)
+        if inspect.isawaitable(value):
+            value = await value
+        elapsed = time.perf_counter() - started
+        # hand the precomputed value to the engine's own read-through so
+        # the admission decision, cost capture, and hit/miss counters
+        # stay exactly the engine's (one decision, shared by everyone)
+        return self._engine.get_or_compute(
+            key, lambda _key: value, expire_after=expire_after,
+            cost=cost if cost is not None else elapsed)
+
+    # ------------------------------------------------------------------
+    # inline verbs (in-memory work; delegation keeps one source of truth)
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        return self._engine.get(key)
+
+    def set(self, key: str, value: bytes, **kwargs) -> bool:
+        return self._engine.set(key, value, **kwargs)
+
+    def add(self, key: str, value: bytes, **kwargs) -> bool:
+        return self._engine.add(key, value, **kwargs)
+
+    def replace(self, key: str, value: bytes, **kwargs) -> bool:
+        return self._engine.replace(key, value, **kwargs)
+
+    def delete(self, key: str) -> bool:
+        return self._engine.delete(key)
+
+    def incr(self, key: str, delta: int) -> Optional[int]:
+        return self._engine.incr(key, delta)
+
+    def decr(self, key: str, delta: int) -> Optional[int]:
+        return self._engine.decr(key, delta)
+
+    def touch(self, key: str, expire_after: float) -> bool:
+        return self._engine.touch(key, expire_after)
+
+    def flush_all(self) -> None:
+        self._engine.flush_all()
+
+    def stats(self) -> Dict[str, Number]:
+        return self._engine.stats()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._flights)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._engine
+
+    def __len__(self) -> int:
+        return len(self._engine)

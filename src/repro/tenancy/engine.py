@@ -107,9 +107,12 @@ class TenantedEngine:
     # ------------------------------------------------------------------
     # the engine duck type used by the protocol server
     # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[StoredItem]:
+    def get(self, key: str,
+            record_miss: bool = True) -> Optional[StoredItem]:
         engine = self.engine_for(key)
-        return engine.get(key) if engine is not None else None
+        if engine is None:
+            return None
+        return engine.get(key, record_miss=record_miss)
 
     def set(self, key: str, value: bytes, **kwargs) -> bool:
         engine = self.engine_for(key)
@@ -160,6 +163,13 @@ class TenantedEngine:
     def flush_all(self) -> None:
         for engine in self._engines.values():
             engine.flush_all()
+
+    def async_adapter(self):
+        """An :class:`~repro.tenancy.aio.AsyncEngineAdapter` over this
+        router: awaitable ``get_or_compute`` with per-key single-flight
+        coalescing inside the owning tenant's partition."""
+        from repro.tenancy.aio import AsyncEngineAdapter
+        return AsyncEngineAdapter(self)
 
     # ------------------------------------------------------------------
     # introspection

@@ -9,6 +9,8 @@ behind Figures 9a-9c.
 
 from __future__ import annotations
 
+from repro.twemcache.async_client import AsyncSocketClient
+from repro.twemcache.async_server import AsyncTwemcacheServer
 from repro.twemcache.buddy import BuddyAllocator
 from repro.twemcache.client import InProcessClient, SocketClient
 from repro.twemcache.driver import ReplayResult, replay_trace
@@ -18,7 +20,15 @@ from repro.twemcache.engine import (
     TwemcacheEngine,
 )
 from repro.twemcache.iq import IqSession, VirtualClock
-from repro.twemcache.protocol import Request, parse_command_line
+from repro.twemcache.protocol import (
+    Command,
+    ProtocolSession,
+    Reply,
+    Request,
+    ServerSession,
+    execute_command,
+    parse_command_line,
+)
 from repro.twemcache.server import TwemcacheServer
 from repro.twemcache.slab import (
     DEFAULT_GROWTH_FACTOR,
@@ -45,9 +55,16 @@ __all__ = [
     "IqSession",
     "VirtualClock",
     "Request",
+    "Command",
+    "Reply",
+    "ProtocolSession",
+    "ServerSession",
+    "execute_command",
     "parse_command_line",
     "TwemcacheServer",
+    "AsyncTwemcacheServer",
     "SocketClient",
+    "AsyncSocketClient",
     "InProcessClient",
     "ReplayResult",
     "replay_trace",

@@ -1,0 +1,378 @@
+"""``AsyncSocketClient`` — pooled, pipelining asyncio protocol client.
+
+The sync :class:`~repro.twemcache.client.SocketClient` is strictly
+request/response: every call pays a full network round trip.  This
+client keeps a pool of connections and *pipelines*: ``get_many`` /
+``set_many`` write a whole batch of commands per connection in one
+``send`` and only then read the replies, so N requests cost ~one round
+trip per pool connection instead of N.  It speaks to either server
+(threaded or asyncio) — the wire format is identical — which is exactly
+how ``benchmarks/test_async_serving.py`` compares the two fairly.
+
+Single-key ``get``/``set``/``delete`` work too (acquire a pooled
+connection, one round trip), so the client is a drop-in async
+counterpart for the sync surface, plus ``stats``/``version``/``save``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProtocolError
+from repro.twemcache.client import _Value
+from repro.twemcache.protocol import (CRLF, chunk_get_keys, parse_number,
+                                      parse_value_header)
+
+__all__ = ["AsyncSocketClient"]
+
+Number = Union[int, float]
+
+#: generous stream limit so large values fit one readuntil/readexactly
+_STREAM_LIMIT = 16 << 20
+
+
+class _Connection:
+    """One pooled stream pair with response-parsing helpers."""
+
+    __slots__ = ("reader", "writer")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    async def read_line(self) -> bytes:
+        try:
+            line = await self.reader.readuntil(CRLF)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("server closed the connection") from None
+        return line[:-2]
+
+    async def read_exact(self, n: int) -> bytes:
+        try:
+            return await self.reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("server closed the connection") from None
+
+    async def read_values(self, out: Dict[str, _Value]) -> None:
+        """Consume one get response (VALUE blocks until END) into out."""
+        while True:
+            line = await self.read_line()
+            if line == b"END":
+                return
+            if line.startswith(b"VALUE "):
+                key, flags, nbytes = parse_value_header(line)
+                data = await self.read_exact(nbytes)
+                trailer = await self.read_exact(2)
+                if trailer != CRLF:
+                    raise ProtocolError("missing CRLF after data block")
+                out[key] = _Value(data, flags)
+            elif line.startswith(b"CLIENT_ERROR"):
+                raise ProtocolError(line.decode())
+            else:
+                raise ProtocolError(f"unexpected reply {line!r}")
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+class AsyncSocketClient:
+    """Pooled asyncio client for the memcached-style text protocol."""
+
+    def __init__(self, address: Tuple[str, int], pool_size: int = 4,
+                 timeout: float = 10.0) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self._address = address
+        self._pool_size = pool_size
+        self._timeout = timeout
+        self._idle: List[_Connection] = []
+        self._all: List[_Connection] = []
+        self._available = asyncio.Semaphore(pool_size)
+        # serializes multi-connection checkouts: without it two
+        # concurrent batches can each hold part of the pool and wait
+        # forever for the rest (partial-acquisition deadlock)
+        self._checkout = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+    async def _connect(self) -> _Connection:
+        host, port = self._address
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=_STREAM_LIMIT),
+            timeout=self._timeout)
+        conn = _Connection(reader, writer)
+        self._all.append(conn)
+        return conn
+
+    async def _acquire(self) -> _Connection:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        await self._available.acquire()
+        if self._idle:
+            return self._idle.pop()
+        try:
+            return await self._connect()
+        except BaseException:
+            # hand the permit back or failed dials shrink the pool
+            # until every operation blocks forever
+            self._available.release()
+            raise
+
+    def _release(self, conn: _Connection, broken: bool = False) -> None:
+        if broken:
+            conn.close()
+            if conn in self._all:
+                self._all.remove(conn)
+        else:
+            self._idle.append(conn)
+        self._available.release()
+
+    async def _checked_out(self, count: int) -> List[_Connection]:
+        """Acquire up to ``count`` pool connections for a fan-out batch.
+
+        Checkouts are serialized: a batch waiting for permits never
+        blocks another batch that already holds some (single-key
+        operations release their one permit independently, so the lock
+        holder always makes progress).
+        """
+        async with self._checkout:
+            conns: List[_Connection] = []
+            try:
+                for _ in range(min(count, self._pool_size)):
+                    conns.append(await self._acquire())
+            except BaseException:
+                for conn in conns:
+                    self._release(conn)
+                raise
+            return conns
+
+    # ------------------------------------------------------------------
+    # single-key operations
+    # ------------------------------------------------------------------
+    async def get(self, *keys: str) -> Optional[_Value]:
+        """Fetch one or more keys in one command; returns the *last* hit
+        for the single-key call shape (mirrors the sync client), or use
+        :meth:`get_many` for a dict of every hit."""
+        found = await self.get_map(keys)
+        if not keys:
+            return None
+        for key in reversed(keys):
+            if key in found:
+                return found[key]
+        return None
+
+    async def get_map(self, keys: Sequence[str]) -> Dict[str, _Value]:
+        """Multi-key get on one pooled connection (commands chunked to
+        stay under the server's line bound, pipelined)."""
+        chunks = chunk_get_keys(list(keys))
+        if not chunks:
+            return {}
+        conn = await self._acquire()
+        try:
+            conn.writer.write(b"".join(
+                ("get " + " ".join(chunk)).encode() + CRLF
+                for chunk in chunks))
+            await conn.writer.drain()
+            out: Dict[str, _Value] = {}
+            for _ in chunks:
+                await asyncio.wait_for(conn.read_values(out),
+                                       timeout=self._timeout)
+        except Exception:
+            self._release(conn, broken=True)
+            raise
+        self._release(conn)
+        return out
+
+    async def set(self, key: str, value: bytes, flags: int = 0,
+                  expire_after: float = 0, cost: Number = 0) -> bool:
+        results = await self.set_many(
+            [(key, value, flags, expire_after, cost)])
+        return results[0]
+
+    async def delete(self, key: str) -> bool:
+        reply = await self._round_trip(f"delete {key}".encode() + CRLF)
+        if reply == b"DELETED":
+            return True
+        if reply == b"NOT_FOUND":
+            return False
+        raise ProtocolError(f"unexpected reply {reply!r}")
+
+    async def _round_trip(self, payload: bytes) -> bytes:
+        conn = await self._acquire()
+        try:
+            conn.writer.write(payload)
+            await conn.writer.drain()
+            reply = await asyncio.wait_for(conn.read_line(),
+                                           timeout=self._timeout)
+        except Exception:
+            self._release(conn, broken=True)
+            raise
+        self._release(conn)
+        return reply
+
+    # ------------------------------------------------------------------
+    # pipelined batches
+    # ------------------------------------------------------------------
+    async def get_many(self, keys: Sequence[str],
+                       keys_per_command: int = 1) -> Dict[str, _Value]:
+        """Pipelined fetch of many keys across the pool.
+
+        Keys are sharded over the pool's connections; each connection
+        receives *all* its get commands in one write, then replies are
+        parsed in order.  ``keys_per_command`` > 1 additionally packs
+        several keys into each multi-get command line.
+        """
+        if not keys:
+            return {}
+        conns = await self._checked_out(len(keys))
+        shards = [list(keys[i::len(conns)]) for i in range(len(conns))]
+
+        async def run(conn: _Connection, shard: List[str]
+                      ) -> Dict[str, _Value]:
+            chunks = chunk_get_keys(shard, max_keys=keys_per_command)
+            payload = b"".join(
+                ("get " + " ".join(chunk)).encode() + CRLF
+                for chunk in chunks)
+            conn.writer.write(payload)
+            await conn.writer.drain()
+            found: Dict[str, _Value] = {}
+            for _ in chunks:
+                await conn.read_values(found)
+            return found
+
+        return await self._fan_out(conns, shards, run, merge=dict)
+
+    async def set_many(self,
+                       entries: Iterable[Tuple[str, bytes, int, float,
+                                               Number]]) -> List[bool]:
+        """Pipelined stores: ``(key, value[, flags, expire_after, cost])``
+        rows fanned over the pool, one write per connection; returns
+        per-entry STORED booleans in input order."""
+        rows = [self._normalize_entry(entry) for entry in entries]
+        if not rows:
+            return []
+        conns = await self._checked_out(len(rows))
+        shards = [rows[i::len(conns)] for i in range(len(conns))]
+
+        async def run(conn: _Connection, shard) -> List[bool]:
+            payload = bytearray()
+            for key, value, flags, expire_after, cost in shard:
+                header = f"set {key} {flags} {expire_after} " \
+                         f"{len(value)} {cost}"
+                payload += header.encode() + CRLF + value + CRLF
+            conn.writer.write(bytes(payload))
+            await conn.writer.drain()
+            stored = []
+            for _ in shard:
+                reply = await conn.read_line()
+                if reply == b"STORED":
+                    stored.append(True)
+                elif reply == b"NOT_STORED":
+                    stored.append(False)
+                else:
+                    raise ProtocolError(f"unexpected reply {reply!r}")
+            return stored
+
+        per_conn = await self._fan_out(conns, shards, run, merge=None)
+        # un-shard back to input order (shard i holds rows i::n)
+        results: List[bool] = [False] * len(rows)
+        for i, shard_results in enumerate(per_conn):
+            for j, value in enumerate(shard_results):
+                results[i + j * len(conns)] = value
+        return results
+
+    @staticmethod
+    def _normalize_entry(entry) -> Tuple[str, bytes, int, float, Number]:
+        key, value = entry[0], entry[1]
+        flags = entry[2] if len(entry) > 2 else 0
+        expire_after = entry[3] if len(entry) > 3 else 0
+        cost = entry[4] if len(entry) > 4 else 0
+        return key, value, flags, expire_after, cost
+
+    async def _fan_out(self, conns, shards, run, merge):
+        tasks = [asyncio.ensure_future(run(conn, shard))
+                 for conn, shard in zip(conns, shards)]
+        try:
+            results = await asyncio.wait_for(
+                asyncio.gather(*tasks), timeout=self._timeout * len(shards))
+        except Exception:
+            # quiesce sibling shards before tearing their sockets down,
+            # or they raise into the void mid-read
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            for conn in conns:
+                self._release(conn, broken=True)
+            raise
+        for conn in conns:
+            self._release(conn)
+        if merge is dict:
+            merged: Dict[str, _Value] = {}
+            for result in results:
+                merged.update(result)
+            return merged
+        return results
+
+    # ------------------------------------------------------------------
+    # admin verbs
+    # ------------------------------------------------------------------
+    async def stats(self) -> Dict[str, Number]:
+        conn = await self._acquire()
+        try:
+            conn.writer.write(b"stats" + CRLF)
+            await conn.writer.drain()
+            out: Dict[str, Number] = {}
+            while True:
+                line = await asyncio.wait_for(conn.read_line(),
+                                              timeout=self._timeout)
+                if line == b"END":
+                    break
+                if not line.startswith(b"STAT "):
+                    raise ProtocolError(f"unexpected reply {line!r}")
+                _, name, value_text = line.decode().split(" ", 2)
+                out[name] = parse_number(value_text, "stat")
+        except Exception:
+            self._release(conn, broken=True)
+            raise
+        self._release(conn)
+        return out
+
+    async def version(self) -> str:
+        return (await self._round_trip(b"version" + CRLF)).decode()
+
+    async def save(self) -> bool:
+        reply = await self._round_trip(b"save" + CRLF)
+        if reply == b"OK":
+            return True
+        if reply.startswith(b"SERVER_ERROR"):
+            return False
+        raise ProtocolError(f"unexpected reply {reply!r}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        self._closed = True
+        for conn in self._all:
+            try:
+                conn.writer.write(b"quit" + CRLF)
+            except (ConnectionError, RuntimeError):
+                pass
+            conn.close()
+        for conn in self._all:
+            try:
+                await conn.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._all.clear()
+        self._idle.clear()
+
+    async def __aenter__(self) -> "AsyncSocketClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -16,7 +16,8 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import ProtocolError
 from repro.twemcache.engine import TwemcacheEngine
-from repro.twemcache.protocol import CRLF, parse_number
+from repro.twemcache.protocol import (CRLF, chunk_get_keys, parse_number,
+                                      parse_value_header)
 
 __all__ = ["SocketClient", "InProcessClient"]
 
@@ -67,24 +68,50 @@ class SocketClient:
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[_Value]:
-        self._send(f"get {key}".encode() + CRLF)
-        value: Optional[_Value] = None
+    def get(self, *keys: str) -> Optional[_Value]:
+        """Fetch one or more keys with a single multi-key get command.
+
+        Returns the last requested key's value that hit (for the usual
+        one-key call, simply that key's value), or None.  Use
+        :meth:`get_many` when you want every hit.
+        """
+        found = self.get_many(keys)
+        for key in reversed(keys):
+            if key in found:
+                return found[key]
+        return None
+
+    def get_many(self, keys) -> Dict[str, _Value]:
+        """Multi-key fetch; returns a dict of every key that hit
+        (misses are simply absent, as in the memcached protocol).
+
+        Key lists of any size are fine: commands are chunked to stay
+        under the server's fatal line bound and pipelined — every
+        chunk's ``get`` is sent before the first response is read, so
+        the whole batch still costs ~one round trip."""
+        chunks = chunk_get_keys(list(keys))
+        if not chunks:
+            return {}
+        self._send(b"".join(("get " + " ".join(chunk)).encode() + CRLF
+                            for chunk in chunks))
+        found: Dict[str, _Value] = {}
+        for _ in chunks:
+            self._read_values(found)
+        return found
+
+    def _read_values(self, found: Dict[str, _Value]) -> None:
+        """Consume one get response (VALUE blocks until END)."""
         while True:
             line = self._read_line()
             if line == b"END":
-                return value
+                return
             if line.startswith(b"VALUE "):
-                parts = line.decode().split()
-                if len(parts) != 4:
-                    raise ProtocolError(f"malformed VALUE line: {line!r}")
-                _, got_key, flags_text, nbytes_text = parts
-                nbytes = int(nbytes_text)
+                got_key, flags, nbytes = parse_value_header(line)
                 data = self._read_exact(nbytes)
                 trailer = self._read_exact(2)
                 if trailer != CRLF:
                     raise ProtocolError("missing CRLF after data block")
-                value = _Value(data, int(flags_text))
+                found[got_key] = _Value(data, flags)
             elif line.startswith(b"CLIENT_ERROR"):
                 raise ProtocolError(line.decode())
             else:
@@ -164,6 +191,14 @@ class InProcessClient:
         if item is None:
             return None
         return _Value(item.value, item.flags)
+
+    def get_many(self, keys) -> Dict[str, _Value]:
+        found: Dict[str, _Value] = {}
+        for key in keys:
+            item = self._engine.get(key)
+            if item is not None:
+                found[key] = _Value(item.value, item.flags)
+        return found
 
     def set(self, key: str, value: bytes, flags: int = 0,
             expire_after: float = 0, cost: Number = 0) -> bool:

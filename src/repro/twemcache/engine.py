@@ -236,14 +236,22 @@ class TwemcacheEngine:
     # ------------------------------------------------------------------
     # public API (get / set / delete) — a thin adapter over the Store
     # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[StoredItem]:
-        """Fetch a live item (expired items are lazily reclaimed)."""
+    def get(self, key: str,
+            record_miss: bool = True) -> Optional[StoredItem]:
+        """Fetch a live item (expired items are lazily reclaimed).
+
+        ``record_miss=False`` keeps a miss out of the counters — for
+        probes whose caller will re-drive the miss through
+        ``get_or_compute`` and must not count it twice (the async
+        adapter's resident fast path).
+        """
         with self._lock:
             result = self._store.get(key)
             if result.hit:
                 self.hits += 1
                 return result.value
-            self.misses += 1
+            if record_miss:
+                self.misses += 1
             return None
 
     def set(self,
@@ -582,6 +590,13 @@ class TwemcacheEngine:
                 return result.value
             self.misses += 1
             return self._items.get(key) if result.resident else None
+
+    def async_adapter(self):
+        """An :class:`~repro.tenancy.aio.AsyncEngineAdapter` over this
+        engine: awaitable ``get_or_compute`` with per-key single-flight
+        coalescing (loaders run off the engine lock)."""
+        from repro.tenancy.aio import AsyncEngineAdapter
+        return AsyncEngineAdapter(self)
 
     @property
     def eviction_kind(self) -> str:

@@ -24,20 +24,42 @@ Implemented subset (requests end with CRLF; values are raw bytes):
 * ``stats`` → ``STAT <name> <value>`` lines then ``END``
 * ``version``, ``quit``
 
-Parsing is shared by the threaded server and the socket client.
+Beyond the wire grammar, this module holds the whole *serving contract*
+as sans-IO pieces shared by every transport:
+
+* :class:`ProtocolSession` — a byte-stream state machine: feed raw
+  received bytes in, drain parsed :class:`Command` events out.  It owns
+  the framing rules (data blocks of exactly ``nbytes`` + CRLF trailer,
+  bounded command lines), so a short body simply waits for more bytes
+  and a broken frame surfaces as a *fatal* event instead of the stream
+  being re-interpreted mid-payload.
+* :func:`execute_command` — one :class:`Command` against an engine duck
+  type, returning the rendered :class:`Reply` bytes.
+* :class:`ServerSession` — the two composed: ``receive(data)`` returns
+  ``(response_bytes, close)``.  The threaded and asyncio servers are
+  both thin transports over this one object, which is what makes their
+  responses byte-identical by construction (property-tested in
+  ``tests/test_serving_parity.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError
 
 __all__ = ["Request", "CRLF", "parse_command_line", "render_value",
-           "render_stats", "parse_number"]
+           "render_stats", "parse_number", "parse_value_header",
+           "chunk_get_keys", "Command", "Reply",
+           "ProtocolSession", "ServerSession", "execute_command",
+           "MAX_LINE_BYTES"]
 
 CRLF = b"\r\n"
+
+#: longest accepted command line; longer without a CRLF is a framing
+#: error (memcached similarly bounds its request lines)
+MAX_LINE_BYTES = 8192
 
 Number = Union[int, float]
 
@@ -134,8 +156,279 @@ def render_value(key: str, flags: int, value: bytes) -> bytes:
     return header + CRLF + value + CRLF
 
 
+def parse_value_header(line: bytes) -> Tuple[str, int, int]:
+    """Parse one ``VALUE <key> <flags> <bytes>`` reply line into
+    ``(key, flags, nbytes)`` — the client-side half of the grammar,
+    shared by the sync and async clients."""
+    parts = line.decode().split()
+    if len(parts) != 4 or parts[0] != "VALUE":
+        raise ProtocolError(f"malformed VALUE line: {line!r}")
+    try:
+        return parts[1], int(parts[2]), int(parts[3])
+    except ValueError:
+        raise ProtocolError(f"malformed VALUE line: {line!r}") from None
+
+
+def chunk_get_keys(keys, max_keys: Optional[int] = None,
+                   max_line: int = MAX_LINE_BYTES) -> List[List[str]]:
+    """Split ``keys`` into chunks whose ``get k1 k2 ...`` command lines
+    stay under the server's ``max_line`` bound (with headroom), each
+    chunk also holding at most ``max_keys`` keys.  Clients must use
+    this: a single unbounded multi-get line is a *fatal* framing error
+    server-side."""
+    budget = max_line - 64          # headroom under the fatal bound
+    chunks: List[List[str]] = []
+    current: List[str] = []
+    line_bytes = 3                  # "get"
+    for key in keys:
+        needed = len(key.encode("utf-8")) + 1
+        if current and (line_bytes + needed > budget
+                        or (max_keys is not None
+                            and len(current) >= max_keys)):
+            chunks.append(current)
+            current = []
+            line_bytes = 3
+        current.append(key)
+        line_bytes += needed
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 def render_stats(stats: dict) -> bytes:
     lines = b""
     for name in sorted(stats):
         lines += f"STAT {name} {stats[name]}".encode("utf-8") + CRLF
     return lines + b"END" + CRLF
+
+
+# ----------------------------------------------------------------------
+# sans-IO serving core
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Command:
+    """One parsed protocol event.
+
+    ``request`` is None when the command line failed to parse; ``error``
+    then carries the CLIENT_ERROR text.  ``fatal`` marks framing damage
+    (bad data-block trailer, unbounded line): the connection must be
+    closed after the error reply, because the byte stream can no longer
+    be trusted to be command-aligned.
+    """
+
+    request: Optional[Request]
+    payload: Optional[bytes] = None
+    error: Optional[str] = None
+    fatal: bool = False
+
+
+@dataclass(slots=True)
+class Reply:
+    """Rendered response bytes plus whether the connection must close."""
+
+    data: bytes
+    close: bool = False
+
+
+class ProtocolSession:
+    """Server-side byte-stream state machine (sans-IO).
+
+    Transports call :meth:`feed` with whatever ``recv`` returned and
+    drain :meth:`commands`; the session handles arbitrary chunk
+    boundaries — a command line or data block split across reads simply
+    waits for the rest.  After a fatal framing event the session stays
+    broken: no further commands are produced.
+    """
+
+    __slots__ = ("_buffer", "_awaiting", "_broken", "_max_line")
+
+    def __init__(self, max_line: int = MAX_LINE_BYTES) -> None:
+        self._buffer = bytearray()
+        self._awaiting: Optional[Request] = None
+        self._broken = False
+        self._max_line = max_line
+
+    @property
+    def broken(self) -> bool:
+        """True once a fatal framing error was seen."""
+        return self._broken
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet consumed by a complete command."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        if data:
+            self._buffer += data
+
+    def commands(self) -> Iterator[Command]:
+        """Drain every command completed by the bytes fed so far."""
+        while True:
+            command = self.next_command()
+            if command is None:
+                return
+            yield command
+
+    def next_command(self) -> Optional[Command]:
+        if self._broken:
+            return None
+        if self._awaiting is not None:
+            return self._next_payload()
+        while True:
+            end = self._buffer.find(CRLF)
+            if end < 0:
+                if len(self._buffer) > self._max_line:
+                    self._broken = True
+                    return Command(None, error="command line too long",
+                                   fatal=True)
+                return None
+            line = bytes(self._buffer[:end])
+            del self._buffer[:end + 2]
+            if len(line) > self._max_line:
+                # enforce the bound whether or not the CRLF happened to
+                # arrive in the same chunk — the outcome must not depend
+                # on where recv boundaries fell
+                self._broken = True
+                return Command(None, error="command line too long",
+                               fatal=True)
+            if not line:
+                continue          # stray blank line, same as the old loop
+            try:
+                request = parse_command_line(line)
+            except ProtocolError as exc:
+                first = line.split(None, 1)[0].lower()
+                if first in (b"set", b"add", b"replace"):
+                    # a storage header that failed to parse still
+                    # promised a data block of unknowable length; the
+                    # following bytes cannot be trusted to be command
+                    # lines, so reinterpreting them would desync (and
+                    # let payload text run as commands) — close instead
+                    self._broken = True
+                    return Command(None, error=str(exc), fatal=True)
+                # other malformed lines are well-framed: report, carry on
+                return Command(None, error=str(exc))
+            if request.command in STORAGE_COMMANDS:
+                self._awaiting = request
+                return self._next_payload()
+            return Command(request)
+
+    def _next_payload(self) -> Optional[Command]:
+        request = self._awaiting
+        assert request is not None
+        needed = request.nbytes + 2
+        if len(self._buffer) < needed:
+            return None           # short body: wait for more bytes
+        payload = bytes(self._buffer[:request.nbytes])
+        trailer = bytes(self._buffer[request.nbytes:needed])
+        del self._buffer[:needed]
+        self._awaiting = None
+        if trailer != CRLF:
+            # the client's byte accounting is off; re-parsing payload
+            # bytes as commands would desync the stream — close instead
+            self._broken = True
+            return Command(request, error="bad data chunk", fatal=True)
+        return Command(request, payload=payload)
+
+
+def execute_command(engine, command: Command) -> Reply:
+    """Run one :class:`Command` against an engine duck type.
+
+    ``engine`` needs the :class:`~repro.twemcache.engine.TwemcacheEngine`
+    surface (``get``/``set``/``add``/``replace``/``delete``/``incr``/
+    ``decr``/``touch``/``flush_all``/``stats``/``save``); the tenancy
+    router satisfies it too.  Every response byte either server emits
+    comes from here.
+    """
+    if command.error is not None:
+        return Reply(f"CLIENT_ERROR {command.error}".encode() + CRLF,
+                     close=command.fatal)
+    request = command.request
+    assert request is not None
+    name = request.command
+    if name == "quit":
+        return Reply(b"", close=True)
+    if name == "version":
+        return Reply(b"VERSION repro-camp/1.0" + CRLF)
+    if name == "stats":
+        return Reply(render_stats(engine.stats()))
+    if name == "get":
+        out = b""
+        for key in request.keys:
+            item = engine.get(key)
+            if item is not None:
+                out += render_value(key, item.flags, item.value)
+        return Reply(out + b"END" + CRLF)
+    if name in STORAGE_COMMANDS:
+        operation = getattr(engine, name)
+        stored = operation(request.key, command.payload,
+                           flags=request.flags,
+                           expire_after=request.exptime,
+                           cost=request.cost)
+        return Reply(b"STORED" + CRLF if stored else b"NOT_STORED" + CRLF)
+    if name == "delete":
+        removed = engine.delete(request.key)
+        return Reply(b"DELETED" + CRLF if removed else b"NOT_FOUND" + CRLF)
+    if name in ("incr", "decr"):
+        try:
+            operation = getattr(engine, name)
+            updated = operation(request.key, request.delta)
+        except ProtocolError as exc:
+            return Reply(f"CLIENT_ERROR {exc}".encode() + CRLF)
+        if updated is None:
+            return Reply(b"NOT_FOUND" + CRLF)
+        return Reply(str(updated).encode("ascii") + CRLF)
+    if name == "touch":
+        touched = engine.touch(request.key, request.exptime)
+        return Reply(b"TOUCHED" + CRLF if touched else b"NOT_FOUND" + CRLF)
+    if name == "flush_all":
+        engine.flush_all()
+        return Reply(b"OK" + CRLF)
+    if name == "save":
+        try:
+            engine.save()
+        except ReproError as exc:
+            return Reply(f"SERVER_ERROR {exc}".encode() + CRLF)
+        return Reply(b"OK" + CRLF)
+    # parse_command_line only produces the commands handled above
+    raise ProtocolError(f"unroutable command {name!r}")  # pragma: no cover
+
+
+class ServerSession:
+    """One connection's protocol state bound to an engine.
+
+    ``receive(data)`` is the entire per-connection logic of both
+    servers: feed the bytes, execute every completed command, hand back
+    the concatenated response bytes and whether to close.  Responses for
+    all commands completed by one chunk are batched into a single bytes
+    object, which is what makes pipelined clients cheap — one
+    ``send``/``drain`` per read, not per command.
+    """
+
+    __slots__ = ("_session", "_engine")
+
+    def __init__(self, engine, max_line: int = MAX_LINE_BYTES) -> None:
+        self._session = ProtocolSession(max_line=max_line)
+        self._engine = engine
+
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def broken(self) -> bool:
+        return self._session.broken
+
+    def receive(self, data: bytes) -> Tuple[bytes, bool]:
+        """Feed one received chunk; return ``(response_bytes, close)``."""
+        self._session.feed(data)
+        out = bytearray()
+        close = False
+        for command in self._session.commands():
+            reply = execute_command(self._engine, command)
+            out += reply.data
+            if reply.close:
+                close = True
+                break
+        return bytes(out), close

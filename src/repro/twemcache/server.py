@@ -13,94 +13,51 @@ import socketserver
 import threading
 from typing import Optional, Tuple
 
-from repro.errors import ProtocolError, ReproError
 from repro.twemcache.engine import TwemcacheEngine
-from repro.twemcache.protocol import (
-    CRLF,
-    parse_command_line,
-    render_stats,
-    render_value,
-)
+from repro.twemcache.protocol import ServerSession
 
-__all__ = ["TwemcacheServer"]
+__all__ = ["TwemcacheServer", "RECV_BYTES"]
+
+#: per-read chunk size shared by both server transports
+RECV_BYTES = 65536
 
 
-class _Handler(socketserver.StreamRequestHandler):
-    """One connection: read command lines, execute, write responses."""
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: a blocking-socket transport over ServerSession.
+
+    All protocol logic (framing, parsing, execution, response
+    rendering) lives in the sans-IO session; this loop only moves
+    bytes.  A short data block is no longer re-interpreted as commands:
+    the session waits for the rest, and on a framing error (bad
+    trailer, oversized line) it replies CLIENT_ERROR and the connection
+    closes instead of serving a desynced stream.
+    """
 
     def handle(self) -> None:
-        engine: TwemcacheEngine = self.server.engine  # type: ignore[attr-defined]
+        session = ServerSession(self.server.engine)  # type: ignore[attr-defined]
         while True:
-            line = self.rfile.readline()
-            if not line:
-                return
-            line = line.rstrip(b"\r\n")
-            if not line:
-                continue
             try:
-                request = parse_command_line(line)
-            except ProtocolError as exc:
-                self.wfile.write(f"CLIENT_ERROR {exc}".encode() + CRLF)
-                continue
-            if request.command == "quit":
+                data = self.request.recv(RECV_BYTES)
+            except OSError:
                 return
-            if request.command == "version":
-                self.wfile.write(b"VERSION repro-camp/1.0" + CRLF)
-            elif request.command == "stats":
-                self.wfile.write(render_stats(engine.stats()))
-            elif request.command == "get":
-                out = b""
-                for key in request.keys:
-                    item = engine.get(key)
-                    if item is not None:
-                        out += render_value(key, item.flags, item.value)
-                self.wfile.write(out + b"END" + CRLF)
-            elif request.command in ("set", "add", "replace"):
-                data = self.rfile.read(request.nbytes)
-                trailer = self.rfile.read(2)
-                if trailer != CRLF:
-                    self.wfile.write(b"CLIENT_ERROR bad data chunk" + CRLF)
-                    continue
-                operation = getattr(engine, request.command)
-                stored = operation(request.key, data, flags=request.flags,
-                                   expire_after=request.exptime,
-                                   cost=request.cost)
-                self.wfile.write(b"STORED" + CRLF if stored
-                                 else b"NOT_STORED" + CRLF)
-            elif request.command == "delete":
-                removed = engine.delete(request.key)
-                self.wfile.write(b"DELETED" + CRLF if removed
-                                 else b"NOT_FOUND" + CRLF)
-            elif request.command in ("incr", "decr"):
+            if not data:
+                return
+            out, close = session.receive(data)
+            if out:
                 try:
-                    operation = getattr(engine, request.command)
-                    updated = operation(request.key, request.delta)
-                except ProtocolError as exc:
-                    self.wfile.write(f"CLIENT_ERROR {exc}".encode() + CRLF)
-                    continue
-                if updated is None:
-                    self.wfile.write(b"NOT_FOUND" + CRLF)
-                else:
-                    self.wfile.write(str(updated).encode("ascii") + CRLF)
-            elif request.command == "touch":
-                touched = engine.touch(request.key, request.exptime)
-                self.wfile.write(b"TOUCHED" + CRLF if touched
-                                 else b"NOT_FOUND" + CRLF)
-            elif request.command == "flush_all":
-                engine.flush_all()
-                self.wfile.write(b"OK" + CRLF)
-            elif request.command == "save":
-                try:
-                    engine.save()
-                except ReproError as exc:
-                    self.wfile.write(f"SERVER_ERROR {exc}".encode() + CRLF)
-                else:
-                    self.wfile.write(b"OK" + CRLF)
+                    self.request.sendall(out)
+                except OSError:
+                    return
+            if close:
+                return
 
 
 class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    # socketserver's default backlog of 5 makes a 64-connection client
+    # storm stall in SYN retries; match asyncio.start_server's default
+    request_queue_size = 100
 
 
 class TwemcacheServer:

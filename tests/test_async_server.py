@@ -1,0 +1,390 @@
+"""AsyncTwemcacheServer + AsyncSocketClient: transport behaviour.
+
+Protocol *semantics* are covered by the parity suite
+(``test_serving_parity.py``); these tests exercise what is new in the
+asyncio transport — pipelining, pooling, graceful drain, framing-error
+teardown, and the dual sync/async lifecycle.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.twemcache import (
+    AsyncSocketClient,
+    AsyncTwemcacheServer,
+    ServerSession,
+    SocketClient,
+    TwemcacheEngine,
+)
+from repro.twemcache.protocol import CRLF
+
+
+def fresh_engine(**kw) -> TwemcacheEngine:
+    kw.setdefault("eviction", "camp")
+    kw.setdefault("slab_size", 1 << 16)
+    return TwemcacheEngine(2 << 20, **kw)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncServerBasics:
+    def test_round_trip_all_verbs(self):
+        async def main():
+            engine = fresh_engine()
+            async with AsyncTwemcacheServer(engine) as server:
+                async with AsyncSocketClient(server.address) as client:
+                    assert await client.set("k", b"value", flags=3, cost=7)
+                    got = await client.get("k")
+                    assert got.value == b"value" and got.flags == 3
+                    assert await client.get("nope") is None
+                    assert await client.delete("k")
+                    assert not await client.delete("k")
+                    assert await client.set("n", b"10")
+                    stats = await client.stats()
+                    assert stats["items"] == 1
+                    assert (await client.version()).startswith("VERSION")
+            return engine
+
+        engine = run(main())
+        assert engine.hits >= 1
+
+    def test_pipelined_batches_round_trip(self):
+        async def main():
+            engine = fresh_engine()
+            async with AsyncTwemcacheServer(engine) as server:
+                async with AsyncSocketClient(server.address,
+                                             pool_size=8) as client:
+                    entries = [(f"k{i}", f"v{i}".encode()) for i in range(250)]
+                    stored = await client.set_many(entries)
+                    assert stored == [True] * 250
+                    found = await client.get_many(
+                        [f"k{i}" for i in range(250)])
+                    assert len(found) == 250
+                    assert found["k137"].value == b"v137"
+                    packed = await client.get_many(
+                        [f"k{i}" for i in range(250)], keys_per_command=16)
+                    assert {k: v.value for k, v in packed.items()} == \
+                        {k: v.value for k, v in found.items()}
+            engine.check_consistency()
+
+        run(main())
+
+    def test_multi_key_get_single_command(self):
+        async def main():
+            engine = fresh_engine()
+            async with AsyncTwemcacheServer(engine) as server:
+                async with AsyncSocketClient(server.address) as client:
+                    await client.set("a", b"1")
+                    await client.set("b", b"2")
+                    found = await client.get_map(["a", "missing", "b"])
+                    assert {k: v.value for k, v in found.items()} == \
+                        {"a": b"1", "b": b"2"}
+                    last = await client.get("a", "b")
+                    assert last.value == b"2"
+
+        run(main())
+
+    def test_sync_lifecycle_serves_sync_client(self):
+        engine = fresh_engine()
+        with AsyncTwemcacheServer(engine) as server:
+            with SocketClient(server.address) as client:
+                assert client.set("x", b"y", cost=4)
+                assert client.get("x").value == b"y"
+                assert client.stats()["items"] == 1
+        # port released after stop: a fresh server can bind and serve
+        with AsyncTwemcacheServer(fresh_engine()) as second:
+            with SocketClient(second.address) as client:
+                assert client.version().startswith("VERSION")
+
+    def test_stop_is_idempotent_and_safe_without_connections(self):
+        server = AsyncTwemcacheServer(fresh_engine()).start()
+        server.stop()
+        server.stop()
+
+
+class TestGracefulDrain:
+    def test_stop_drains_pipelined_batch_in_flight(self):
+        """A client that already sent its commands gets every response
+        even when stop() lands concurrently."""
+        engine = fresh_engine()
+        server = AsyncTwemcacheServer(engine).start()
+        script = b"".join(
+            f"set k{i} 0 0 2 1".encode() + CRLF + b"vv" + CRLF
+            for i in range(200))
+        with socket.create_connection(server.address, timeout=10) as sock:
+            sock.sendall(script)
+            expected = b"STORED" + CRLF
+            received = bytearray()
+            while received.count(expected) < 200:
+                chunk = sock.recv(65536)
+                assert chunk, "server closed before answering the batch"
+                received += chunk
+            server.stop()                 # drain: connection was idle
+            assert sock.recv(65536) == b""  # and is now closed
+        assert bytes(received) == expected * 200
+        assert len(engine) == 200
+
+    def test_connections_close_after_stop(self):
+        server = AsyncTwemcacheServer(fresh_engine()).start()
+        address = server.address
+        with socket.create_connection(address, timeout=10) as sock:
+            sock.sendall(b"version" + CRLF)
+            assert sock.recv(100).startswith(b"VERSION")
+            server.stop()
+            assert sock.recv(100) == b""
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=0.5)
+
+
+class TestFramingTeardown:
+    """The async transport honours the sans-IO fatal-framing contract."""
+
+    def test_bad_trailer_errors_then_closes(self):
+        engine = fresh_engine()
+        with AsyncTwemcacheServer(engine) as server:
+            with socket.create_connection(server.address, timeout=10) as s:
+                s.sendall(b"set k 0 0 5 1" + CRLF + b"abcdeXX"
+                          + b"get a" + CRLF)
+                received = bytearray()
+                while True:
+                    chunk = s.recv(65536)
+                    if not chunk:
+                        break
+                    received += chunk
+        assert received.startswith(b"CLIENT_ERROR bad data chunk")
+        # the bytes after the broken frame were never run as commands
+        assert b"END" not in received
+        assert "k" not in engine
+
+    def test_short_body_waits_instead_of_desyncing(self):
+        """A client that dies mid-data-block must not have its partial
+        payload reinterpreted as commands."""
+        engine = fresh_engine()
+        with AsyncTwemcacheServer(engine) as server:
+            with socket.create_connection(server.address, timeout=10) as s:
+                # 100-byte body promised, only a command-shaped fragment
+                # sent; then the client dies
+                s.sendall(b"set k 0 0 100 1" + CRLF + b"flush_all" + CRLF)
+                s.close()
+            # give the server a beat to observe the close
+            import time
+            for _ in range(100):
+                if server.active_connections == 0:
+                    break
+                time.sleep(0.01)
+        assert "k" not in engine
+        # the embedded flush_all was body bytes, not a command: nothing
+        # was executed at all on this connection
+        assert engine.stats()["misses"] == 0
+
+
+class TestLargeBatches:
+    def test_multi_get_larger_than_server_line_bound(self):
+        """Regression: one unbounded 'get k1 k2 ...' line tripped the
+        server's fatal MAX_LINE_BYTES check; clients now chunk."""
+        long_keys = [f"user:profile:{i:06d}" for i in range(800)]
+
+        async def main():
+            engine = fresh_engine()
+            async with AsyncTwemcacheServer(engine) as server:
+                async with AsyncSocketClient(server.address,
+                                             pool_size=4) as client:
+                    await client.set_many(
+                        [(key, b"v") for key in long_keys])
+                    via_map = await client.get_map(long_keys)
+                    assert len(via_map) == 800
+                    via_many = await client.get_many(
+                        long_keys, keys_per_command=500)
+                    assert len(via_many) == 800
+
+        run(main())
+        # and the sync client, over the threaded server
+        from repro.twemcache import TwemcacheServer
+        engine = fresh_engine()
+        with TwemcacheServer(engine) as server:
+            with SocketClient(server.address) as client:
+                for key in long_keys:
+                    client.set(key, b"v")
+                found = client.get_many(long_keys)
+                assert len(found) == 800
+
+    def test_connect_failure_does_not_leak_pool_permits(self):
+        """Regression: a failed dial kept its semaphore permit, so a
+        few refused connections wedged the pool forever."""
+        async def main():
+            # a port with nothing listening
+            import socket as socket_module
+            probe = socket_module.socket()
+            probe.bind(("127.0.0.1", 0))
+            dead_address = probe.getsockname()
+            probe.close()
+            client = AsyncSocketClient(dead_address, pool_size=2,
+                                       timeout=2)
+            for _ in range(5):
+                with pytest.raises((OSError, asyncio.TimeoutError)):
+                    await asyncio.wait_for(client.get("k"), timeout=5)
+            await client.close()
+
+        run(main())
+
+
+class TestConnectionPool:
+    def test_pool_reuses_connections(self):
+        async def main():
+            engine = fresh_engine()
+            async with AsyncTwemcacheServer(engine) as server:
+                async with AsyncSocketClient(server.address,
+                                             pool_size=2) as client:
+                    for i in range(20):
+                        await client.set(f"k{i}", b"v")
+                    await client.get_many([f"k{i}" for i in range(20)])
+                return engine.stats(), server.connections_served
+
+        _stats, served = run(main())
+        assert served <= 2
+
+    def test_concurrent_batches_on_cold_pool_do_not_deadlock(self):
+        """Regression: two batches each grabbing part of a cold pool's
+        permits used to wait forever for each other's remainder."""
+        async def main():
+            engine = fresh_engine()
+            for i in range(16):
+                engine.set(f"k{i}", b"v")
+            async with AsyncTwemcacheServer(engine) as server:
+                async with AsyncSocketClient(server.address,
+                                             pool_size=2) as client:
+                    keys = [f"k{i}" for i in range(16)]
+                    first, second = await asyncio.wait_for(
+                        asyncio.gather(client.get_many(keys),
+                                       client.get_many(keys)),
+                        timeout=10)
+                    assert len(first) == 16 and len(second) == 16
+
+        run(main())
+
+    def test_pool_size_bounds_concurrency(self):
+        async def main():
+            engine = fresh_engine()
+            async with AsyncTwemcacheServer(engine) as server:
+                async with AsyncSocketClient(server.address,
+                                             pool_size=3) as client:
+                    await asyncio.gather(*[
+                        client.set(f"k{i}", b"v") for i in range(30)])
+                    found = await client.get_many(
+                        [f"k{i}" for i in range(30)])
+                    assert len(found) == 30
+                return server.connections_served
+
+        assert run(main()) <= 3
+
+
+class TestServerSessionUnit:
+    def test_broken_session_stops_producing(self):
+        engine = fresh_engine()
+        session = ServerSession(engine)
+        out, close = session.receive(
+            b"set k 0 0 3 1" + CRLF + b"abXY" + b"version" + CRLF)
+        assert close
+        assert session.broken
+        assert out.startswith(b"CLIENT_ERROR bad data chunk")
+        # feeding more bytes after the fatal error yields nothing
+        out, close = session.receive(b"version" + CRLF)
+        assert out == b""
+
+    def test_oversized_command_line_is_fatal(self):
+        session = ServerSession(fresh_engine())
+        out, close = session.receive(b"get " + b"k" * 10000)
+        assert close and session.broken
+        assert out.startswith(b"CLIENT_ERROR command line too long")
+
+    def test_oversized_line_fatal_even_when_crlf_arrives_together(self):
+        """The line bound must not depend on recv chunk boundaries: the
+        same oversized get is rejected whether or not its CRLF came in
+        the same chunk."""
+        session = ServerSession(fresh_engine())
+        out, close = session.receive(
+            b"get " + b"k " * 6000 + b"\r\n" + b"version\r\n")
+        assert close and session.broken
+        assert out.startswith(b"CLIENT_ERROR command line too long")
+        assert b"VERSION" not in out
+
+    def test_malformed_storage_header_is_fatal_not_desync(self):
+        """A storage command whose header fails to parse still promised
+        a data block; its payload bytes must never run as commands."""
+        engine = fresh_engine()
+        engine.set("victim", b"v")
+        session = ServerSession(engine)
+        # bad flags token; the 11-byte body spells a flush_all command
+        out, close = session.receive(
+            b"set k x 0 11 1\r\nflush_all\r\n" + b"get victim\r\n")
+        assert close and session.broken
+        assert out.startswith(b"CLIENT_ERROR")
+        assert b"OK" not in out          # flush_all never executed
+        assert "victim" in engine
+
+    def test_async_engine_adapter_coalesces(self):
+        async def main():
+            adapter = fresh_engine().async_adapter()
+            calls = []
+
+            async def loader(key):
+                calls.append(key)
+                await asyncio.sleep(0.01)
+                return b"payload"
+
+            items = await asyncio.gather(*[
+                adapter.get_or_compute("hot", loader) for _ in range(40)])
+            assert len(calls) == 1
+            assert all(item.value == b"payload" for item in items)
+            assert adapter.loads == 1 and adapter.coalesced_loads == 39
+            # once resident it is a plain hit, no flights
+            again = await adapter.get_or_compute("hot", loader)
+            assert again.value == b"payload" and len(calls) == 1
+            assert adapter.inflight == 0
+
+        run(main())
+
+    def test_async_engine_adapter_counts_misses_once(self):
+        """Regression: the adapter's resident probe used engine.get, so
+        every logical miss was counted twice vs the sync surface."""
+        async def main():
+            engine = fresh_engine()
+            adapter = engine.async_adapter()
+
+            async def loader(key):
+                return b"v"
+
+            await adapter.get_or_compute("cold", loader)
+            assert engine.misses == 1     # exactly like sync get_or_compute
+            assert engine.hits == 0
+            await adapter.get_or_compute("cold", loader)
+            assert engine.misses == 1
+            assert engine.hits == 1
+
+        run(main())
+
+    def test_async_engine_adapter_counts_expired_miss_once(self):
+        """The TTL-lapsed edge must count one miss too, like sync."""
+        from repro.twemcache import VirtualClock
+
+        async def main():
+            clock = VirtualClock()
+            engine = fresh_engine(clock=clock)
+            adapter = engine.async_adapter()
+
+            async def loader(key):
+                return b"fresh"
+
+            await adapter.get_or_compute("k", loader, expire_after=5)
+            assert engine.misses == 1
+            clock.advance(10)
+            item = await adapter.get_or_compute("k", loader)
+            assert item.value == b"fresh"
+            assert engine.misses == 2     # the expiry miss, once
+            assert engine.hits == 0
+
+        run(main())

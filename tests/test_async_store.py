@@ -1,0 +1,274 @@
+"""Single-flight coalescing in Store and AsyncStore.
+
+The acceptance bar: N concurrent ``get_or_compute`` misses of one key
+collapse to **one** loader call and one admission decision — in the
+threaded sync store via per-key in-flight flights, and in the asyncio
+store via shared load tasks.  Plus the shared-config contract of
+``StoreConfig.build_async()`` (outcomes, TTL, persistence).
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.cache import AsyncStore, Computed, Outcome, Store, StoreConfig
+from repro.errors import ReproError
+
+
+class TestSyncSingleFlight:
+    def test_thundering_herd_pays_one_load(self):
+        store = StoreConfig(1 << 20).policy("camp").thread_safe().build()
+        calls = []
+        barrier = threading.Barrier(12)
+
+        def loader(key):
+            calls.append(key)
+            time.sleep(0.05)
+            return b"x" * 100
+
+        results = []
+        results_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            result = store.get_or_compute("hot", loader)
+            with results_lock:
+                results.append(result)
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert calls == ["hot"]
+        assert store.loads == 1
+        assert store.coalesced_loads == 11
+        leaders = [r for r in results if not r.coalesced]
+        followers = [r for r in results if r.coalesced]
+        assert len(leaders) == 1 and len(followers) == 11
+        assert leaders[0].outcome is Outcome.MISS_INSERTED
+        for follower in followers:
+            assert follower.value == b"x" * 100
+            assert follower.outcome is Outcome.MISS_INSERTED
+
+    def test_distinct_keys_do_not_coalesce(self):
+        store = StoreConfig(1 << 20).policy("camp").thread_safe().build()
+        calls = []
+
+        def loader(key):
+            calls.append(key)
+            time.sleep(0.02)
+            return key.encode() * 10
+
+        threads = [threading.Thread(
+            target=lambda k=f"k{i}": store.get_or_compute(k, loader))
+            for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(calls) == [f"k{i}" for i in range(6)]
+        assert store.coalesced_loads == 0
+
+    def test_loader_failure_propagates_to_all_waiters_then_clears(self):
+        store = StoreConfig(1 << 20).policy("camp").thread_safe().build()
+        state = {"raises": True}
+        gate = threading.Event()
+
+        def loader(key):
+            gate.set()
+            time.sleep(0.03)
+            if state["raises"]:
+                raise RuntimeError("backend down")
+            return b"recovered"
+
+        errors = []
+
+        def follower():
+            gate.wait()
+            try:
+                store.get_or_compute("k", loader)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=follower)
+        thread.start()
+        with pytest.raises(RuntimeError):
+            store.get_or_compute("k", loader)
+        thread.join()
+        assert len(errors) == 1
+        # the flight is gone: the next call retries the loader
+        state["raises"] = False
+        result = store.get_or_compute("k", loader)
+        assert result.value == b"recovered"
+        assert result.resident
+
+    def test_sequential_calls_never_coalesce(self):
+        store = StoreConfig(1 << 20).policy("lru").build()
+        first = store.get_or_compute("a", lambda k: b"v1")
+        second = store.get_or_compute("a", lambda k: b"v2")
+        assert not first.coalesced and not second.coalesced
+        assert second.hit and second.value == b"v1"
+        assert store.coalesced_loads == 0
+
+
+class TestAsyncStoreCoalescing:
+    def test_n_awaiters_one_load(self):
+        async def main():
+            astore = StoreConfig(1 << 20).policy("camp").build_async()
+            calls = []
+
+            async def loader(key):
+                calls.append(key)
+                await asyncio.sleep(0.02)
+                return b"y" * 64
+
+            results = await asyncio.gather(*[
+                astore.get_or_compute("hot", loader) for _ in range(100)])
+            assert calls == ["hot"]
+            assert astore.loads == 1 and astore.coalesced_loads == 99
+            assert sum(1 for r in results if r.coalesced) == 99
+            assert all(r.value == b"y" * 64 for r in results)
+            assert all(r.outcome is Outcome.MISS_INSERTED for r in results)
+            assert astore.inflight == 0
+
+        asyncio.run(main())
+
+    def test_sync_loader_accepted(self):
+        async def main():
+            astore = StoreConfig(1 << 20).policy("camp").build_async()
+            result = await astore.get_or_compute("k", lambda key: b"plain")
+            assert result.resident and result.value == b"plain"
+            hit = await astore.get_or_compute("k", lambda key: b"other")
+            assert hit.hit and hit.value == b"plain"
+
+        asyncio.run(main())
+
+    def test_computed_override_controls_size_cost_ttl(self):
+        async def main():
+            clock = lambda: clock.now  # noqa: E731 - tiny test clock
+            clock.now = 0.0
+            astore = (StoreConfig(1 << 20).policy("camp")
+                      .clock(clock).build_async())
+
+            async def loader(key):
+                return Computed(value=b"v", size=500, cost=42.0, ttl=10.0)
+
+            result = await astore.get_or_compute("k", loader)
+            assert (result.size, result.cost) == (500, 42.0)
+            clock.now = 11.0
+            gone = astore.get("k")
+            assert gone.outcome is Outcome.EXPIRED
+
+        asyncio.run(main())
+
+    def test_loader_failure_shared_then_retry_works(self):
+        async def main():
+            astore = StoreConfig(1 << 20).policy("camp").build_async()
+            attempts = []
+
+            async def failing(key):
+                attempts.append(key)
+                await asyncio.sleep(0.01)
+                raise ValueError("boom")
+
+            results = await asyncio.gather(
+                *[astore.get_or_compute("k", failing) for _ in range(5)],
+                return_exceptions=True)
+            assert len(attempts) == 1
+            assert all(isinstance(r, ValueError) for r in results)
+            assert astore.inflight == 0
+            result = await astore.get_or_compute("k", lambda key: b"ok")
+            assert result.resident
+
+        asyncio.run(main())
+
+    def test_cancelled_waiter_does_not_cancel_the_load(self):
+        async def main():
+            astore = StoreConfig(1 << 20).policy("camp").build_async()
+            calls = []
+
+            async def loader(key):
+                calls.append(key)
+                await asyncio.sleep(0.05)
+                return b"survives"
+
+            tasks = [asyncio.ensure_future(astore.get_or_compute("k", loader))
+                     for _ in range(3)]
+            await asyncio.sleep(0.01)
+            tasks[0].cancel()
+            done = await asyncio.gather(*tasks, return_exceptions=True)
+            assert isinstance(done[0], asyncio.CancelledError)
+            assert done[1].value == b"survives"
+            assert done[2].value == b"survives"
+            assert calls == ["k"]
+            # the value landed in the cache despite the cancellation
+            assert astore.get("k").hit
+
+        asyncio.run(main())
+
+    def test_rejected_admission_still_hands_back_value(self):
+        async def main():
+            # a store too small for the loaded value: outcome reports
+            # the rejection, but the caller still gets its bytes
+            astore = StoreConfig(256).policy("camp").build_async()
+            result = await astore.get_or_compute(
+                "big", lambda key: b"z" * 10_000)
+            assert result.outcome is Outcome.MISS_REJECTED_TOO_LARGE
+            assert result.value == b"z" * 10_000
+            assert not result.resident
+
+        asyncio.run(main())
+
+
+class TestBuildAsyncSharedConfig:
+    def test_wraps_same_store_surface(self):
+        astore = (StoreConfig(1 << 20).policy("camp", precision=4)
+                  .track_metrics().build_async())
+        assert isinstance(astore, AsyncStore)
+        assert isinstance(astore.store, Store)
+        astore.put("a", 100, 2.0, value=b"v")
+        assert "a" in astore and len(astore) == 1
+        assert astore.get("a").hit
+        batch = astore.get_many(["a", "b"])
+        assert batch.hits == 1
+        assert astore.metrics is astore.store.metrics
+        astore.check_consistency()
+
+    def test_persistence_round_trip_through_async(self, tmp_path):
+        directory = str(tmp_path / "state")
+
+        async def write_side():
+            astore = (StoreConfig(1 << 20).policy("camp")
+                      .persistence(directory).build_async())
+            await astore.get_or_compute("k", lambda key: b"durable",
+                                        cost=5.0)
+            generation = await astore.save()
+            astore.persistence.close()
+            return generation
+
+        generation = asyncio.run(write_side())
+        assert generation >= 1
+
+        async def read_side():
+            astore = (StoreConfig(1 << 20).policy("camp")
+                      .persistence(directory).build_async())
+            assert astore.last_recovery is not None
+            assert astore.last_recovery.recovered
+            result = await astore.get_or_compute(
+                "k", lambda key: pytest.fail("value should be restored"))
+            assert result.hit and result.value == b"durable"
+            astore.persistence.close()
+
+        asyncio.run(read_side())
+
+    def test_save_without_persistence_raises(self):
+        async def main():
+            astore = StoreConfig(1 << 20).policy("camp").build_async()
+            with pytest.raises(ReproError):
+                await astore.save()
+
+        asyncio.run(main())

@@ -128,6 +128,82 @@ class TestServerIntegration:
             # the connection still works afterwards
             assert client.set("still", b"alive")
 
+    def test_multi_key_get_and_get_many(self, server):
+        """Regression: the sync client used to send only one key even
+        though the protocol and server loop over every requested key."""
+        with SocketClient(server.address) as client:
+            client.set("a", b"1", flags=2)
+            client.set("b", b"22")
+            found = client.get_many(["a", "missing", "b"])
+            assert {k: v.value for k, v in found.items()} == \
+                {"a": b"1", "b": b"22"}
+            assert found["a"].flags == 2
+            assert client.get_many([]) == {}
+            assert client.get_many(["missing"]) == {}
+            # multi-key get(): one command, last requested hit wins
+            assert client.get("a", "b").value == b"22"
+            assert client.get("b", "missing").value == b"22"
+            # the single-key shape is unchanged
+            assert client.get("a").value == b"1"
+            assert client.get("missing") is None
+
+
+class TestFramingRobustness:
+    """The threaded server must close, not desync, on broken frames.
+
+    Before the sans-IO rewrite a short ``rfile.read(nbytes)`` or a bad
+    trailer left the handler reinterpreting payload bytes as commands.
+    """
+
+    def test_bad_trailer_replies_error_then_closes(self, server):
+        import socket as socket_module
+        with socket_module.create_connection(server.address,
+                                             timeout=10) as sock:
+            # 5 declared bytes but 7 sent: the trailer check fails and
+            # the embedded "version" line must never execute
+            sock.sendall(b"set k 0 0 5 1\r\nabcdeXX" + b"version\r\n")
+            received = bytearray()
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                received += chunk
+        assert received.startswith(b"CLIENT_ERROR bad data chunk")
+        assert b"VERSION" not in received
+        assert "k" not in server.engine
+
+    def test_client_death_mid_body_executes_nothing(self, server):
+        import socket as socket_module
+        with socket_module.create_connection(server.address,
+                                             timeout=10) as sock:
+            # promise 1000 body bytes, send a command-shaped fragment,
+            # die: the fragment is body bytes, not a flush_all
+            server.engine.set("survivor", b"v")
+            sock.sendall(b"set k 0 0 1000 1\r\nflush_all\r\n")
+        # the server saw EOF mid-frame; poll briefly for it to notice
+        import time
+        for _ in range(100):
+            if "survivor" in server.engine:
+                break
+            time.sleep(0.01)
+        assert "survivor" in server.engine
+        assert "k" not in server.engine
+
+    def test_split_frames_across_sends_still_parse(self, server):
+        """The inverse guarantee: slow (non-broken) clients whose frames
+        arrive in pieces are served normally."""
+        import socket as socket_module
+        import time as time_module
+        with socket_module.create_connection(server.address,
+                                             timeout=10) as sock:
+            for piece in (b"set half 0", b" 0 6 3\r\nabc",
+                          b"def", b"\r\n"):
+                sock.sendall(piece)
+                time_module.sleep(0.01)
+            reply = sock.recv(100)
+        assert reply == b"STORED\r\n"
+        assert server.engine.get("half").value == b"abcdef"
+
 
 class TestIqSession:
     def test_measured_cost_is_miss_to_set_interval(self):

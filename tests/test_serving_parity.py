@@ -1,0 +1,177 @@
+"""Sync/async server parity over the shared sans-IO protocol core.
+
+Both servers are thin transports over one
+:class:`~repro.twemcache.protocol.ServerSession`, so for any command
+script they must produce byte-identical response streams *and* identical
+engine state evolution (same eviction decisions, same counters).  The
+property tests here generate command scripts with hypothesis and drive
+them through:
+
+* two in-process sessions under different chunk splits (the sans-IO
+  machine must not care where ``recv`` boundaries fall), and
+* the real :class:`TwemcacheServer` (threaded) and
+  :class:`AsyncTwemcacheServer` (asyncio) over TCP.
+"""
+
+import socket
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.twemcache import (
+    AsyncTwemcacheServer,
+    ServerSession,
+    TwemcacheEngine,
+    TwemcacheServer,
+)
+from repro.twemcache.protocol import CRLF
+
+KEYS = [f"k{i}" for i in range(40)]
+
+#: engine small enough that generated scripts cause real evictions
+ENGINE_KW = dict(memory_bytes=1 << 16, eviction="camp", slab_size=1 << 13,
+                 seed=7)
+
+
+def fresh_engine() -> TwemcacheEngine:
+    return TwemcacheEngine(**ENGINE_KW)
+
+
+# ----------------------------------------------------------------------
+# script generation
+# ----------------------------------------------------------------------
+def _render(op) -> bytes:
+    kind = op[0]
+    if kind in ("set", "add", "replace"):
+        _, key, value, flags, cost = op
+        header = f"{kind} {key} {flags} 0 {len(value)} {cost}"
+        return header.encode() + CRLF + value + CRLF
+    if kind == "get":
+        return ("get " + " ".join(op[1])).encode() + CRLF
+    if kind == "delete":
+        return f"delete {op[1]}".encode() + CRLF
+    if kind in ("incr", "decr"):
+        return f"{op[0]} {op[1]} {op[2]}".encode() + CRLF
+    if kind == "touch":
+        return f"touch {op[1]} 0".encode() + CRLF
+    if kind == "flush_all":
+        return b"flush_all" + CRLF
+    if kind == "stats":
+        return b"stats" + CRLF
+    if kind == "bad":
+        return op[1]
+    raise AssertionError(kind)
+
+
+keys = st.sampled_from(KEYS)
+values = st.binary(min_size=0, max_size=200)
+
+operations = st.one_of(
+    st.tuples(st.sampled_from(["set", "add", "replace"]), keys, values,
+              st.integers(0, 7), st.integers(0, 50)),
+    st.tuples(st.just("get"), st.lists(keys, min_size=1, max_size=3)),
+    st.tuples(st.just("delete"), keys),
+    st.tuples(st.sampled_from(["incr", "decr"]), keys, st.integers(0, 9)),
+    st.tuples(st.just("touch"), keys),
+    st.tuples(st.just("bad"),
+              st.sampled_from([b"bogus x" + CRLF, b"delete" + CRLF,
+                               b"get" + CRLF, b"stats now" + CRLF])),
+)
+
+scripts = st.lists(operations, min_size=1, max_size=40).map(
+    lambda ops: b"".join(_render(op) for op in ops))
+
+
+# ----------------------------------------------------------------------
+# sans-IO chunking invariance
+# ----------------------------------------------------------------------
+@given(script=scripts, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_session_output_is_chunking_invariant(script, seed):
+    """Arbitrary recv boundaries — mid-line, mid-payload — must not
+    change a single response byte or any engine decision."""
+    import random
+    rng = random.Random(seed)
+
+    def run(chunks):
+        engine = fresh_engine()
+        session = ServerSession(engine)
+        out = bytearray()
+        for chunk in chunks:
+            data, close = session.receive(chunk)
+            out += data
+            assert not close     # scripts contain no framing errors
+        return bytes(out), engine
+
+    whole, engine_a = run([script])
+    pieces = []
+    position = 0
+    while position < len(script):
+        step = rng.randint(1, 13)
+        pieces.append(script[position:position + step])
+        position += step
+    split, engine_b = run(pieces)
+
+    assert whole == split
+    assert engine_a.stats() == engine_b.stats()
+    assert sorted(engine_a._items) == sorted(engine_b._items)
+
+
+# ----------------------------------------------------------------------
+# threaded vs asyncio over real sockets
+# ----------------------------------------------------------------------
+def _drive(server, script: bytes) -> bytes:
+    """Send the whole pipelined script plus quit; read the response
+    stream to EOF."""
+    with socket.create_connection(server.address, timeout=10) as sock:
+        sock.sendall(script + b"quit" + CRLF)
+        received = bytearray()
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return bytes(received)
+            received += chunk
+
+
+def _run_script_through(server_cls, script: bytes):
+    engine = fresh_engine()
+    with server_cls(engine) as server:
+        response = _drive(server, script)
+    return response, engine.stats(), sorted(engine._items)
+
+
+@given(script=scripts)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_threaded_and_async_servers_are_byte_identical(script):
+    threaded = _run_script_through(TwemcacheServer, script)
+    asynced = _run_script_through(AsyncTwemcacheServer, script)
+    assert threaded[0] == asynced[0]          # byte-identical responses
+    assert threaded[1] == asynced[1]          # identical counters/evictions
+    assert threaded[2] == asynced[2]          # identical residency
+
+
+def test_parity_includes_stats_and_admin_verbs():
+    """A directed script touching every verb family, including stats
+    (deterministic counters) after identical histories."""
+    script = b"".join([
+        b"set a 1 0 3 5" + CRLF + b"abc" + CRLF,
+        b"set b 0 0 2 9" + CRLF + b"xy" + CRLF,
+        b"get a b" + CRLF,
+        b"incr c 1" + CRLF,
+        b"set c 0 0 1 1" + CRLF + b"7" + CRLF,
+        b"incr c 3" + CRLF,
+        b"decr c 100" + CRLF,
+        b"touch a 0" + CRLF,
+        b"delete b" + CRLF,
+        b"get a b c" + CRLF,
+        b"version" + CRLF,
+        b"stats" + CRLF,
+        b"flush_all" + CRLF,
+        b"stats" + CRLF,
+    ])
+    threaded = _run_script_through(TwemcacheServer, script)
+    asynced = _run_script_through(AsyncTwemcacheServer, script)
+    assert threaded == asynced
+    assert b"VERSION repro-camp/1.0" in threaded[0]
+    assert b"STAT items" in threaded[0]
