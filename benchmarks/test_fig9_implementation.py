@@ -1,14 +1,25 @@
 """Figures 9a/9b/9c — the Twemcache-like implementation study.
 
 9a: CAMP's cost-miss ratio beats LRU's, most visibly at small caches.
-9b: CAMP's run time is comparable to LRU's (the paper's point is that the
-replacement bookkeeping adds no material overhead).
+9b: CAMP's per-operation service time is comparable to LRU's (the
+    paper's point is that the replacement bookkeeping adds no material
+    overhead).  The replay drives the full memcached protocol surface
+    (LoopbackClient), and ``camp_over_lru`` compares per-get/per-set
+    service times at a common operation mix, so the policies' different
+    miss *decisions* (reported by 9a/9c) do not masquerade as
+    bookkeeping cost.
 9c: miss rate falls with cache size for both.
 """
 
-from conftest import run_once
+from conftest import bench_scale, run_once
 
 from repro.experiments import run_experiment
+
+#: runtime guard on the per-operation overhead ratio.  The archived
+#: default-scale results target <= 1.15 (the PR-5 tentpole goal); the
+#: in-test bound leaves headroom for noisy CI boxes, and the tiny smoke
+#: scale — a 5k-request replay — only gets a sanity bound.
+OVERHEAD_BOUNDS = {"tiny": 2.0, "default": 1.3, "full": 1.3}
 
 
 def test_fig9(benchmark, scale, save_tables):
@@ -23,10 +34,12 @@ def test_fig9(benchmark, scale, save_tables):
     # the advantage is largest at the smallest cache
     assert camp_cost[0] < lru_cost[0]
 
-    # 9b: CAMP within 3x of LRU's wall time (paper: comparable; we allow
-    # slack for Python-level constant factors)
+    # 9b: per-operation bookkeeping overhead stays small
+    bound = OVERHEAD_BOUNDS[bench_scale()]
     for ratio_overhead in time_table.column("camp_over_lru"):
-        assert ratio_overhead < 3.0
+        assert ratio_overhead < bound, (
+            f"per-op overhead {ratio_overhead:.3f} over the {bound} "
+            f"bound")
 
     # 9c: monotone-ish decreasing miss rate with cache size for both
     for name in ("lru", "camp(p=5)"):

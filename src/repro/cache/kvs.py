@@ -126,7 +126,8 @@ class KVS:
         item = self._items.get(key)
         if item is None:
             return Outcome.MISS
-        if item.expire_at != 0 and now >= item.expire_at:
+        expire_at = item.expire_at
+        if expire_at != 0.0 and now >= expire_at:
             self._drop(policy, item, explicit=True)
             self._expired += 1
             return Outcome.EXPIRED
@@ -162,25 +163,30 @@ class KVS:
                 key, size, cost):
             self._rejected_admission += 1
             return Outcome.MISS_REJECTED_ADMISSION
-        existing = self._items.pop(key, None)
+        items = self._items
+        listeners = self._listeners
+        existing = items.pop(key, None)
         if existing is not None:
             policy.on_remove(key)
             self._used -= existing.size
-            self._notify_evict(existing, explicit=True)
+            if listeners:
+                self._notify_evict(existing, explicit=True)
         while policy.wants_eviction(item, self._capacity - self._used):
             if not len(policy):
                 # nothing left to evict yet still no room: give up
                 self._rejected_too_large += 1
                 return Outcome.MISS_REJECTED_TOO_LARGE
             victim_key = policy.pop_victim(item)
-            victim = self._items.pop(victim_key)
+            victim = items.pop(victim_key)
             self._used -= victim.size
             self._evictions += 1
-            self._notify_evict(victim, explicit=False)
+            if listeners:
+                self._notify_evict(victim, explicit=False)
         policy.on_insert(key, charged, cost)
-        self._items[key] = item
+        items[key] = item
         self._used += charged
-        self._notify_insert(item)
+        if listeners:
+            self._notify_insert(item)
         return Outcome.MISS_INSERTED
 
     def touch(self, key: str, ttl: Optional[float] = None) -> bool:
@@ -355,7 +361,8 @@ class KVS:
         self._items.pop(item.key, None)
         policy.on_remove(item.key)
         self._used -= item.size
-        self._notify_evict(item, explicit=explicit)
+        if self._listeners:
+            self._notify_evict(item, explicit=explicit)
 
     # ------------------------------------------------------------------
     # introspection

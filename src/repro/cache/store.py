@@ -135,6 +135,9 @@ class Store:
         self._backend = backend
         self._backend_stores_values = bool(
             getattr(backend, "stores_values", False))
+        # optional backend capabilities, resolved once (not per request)
+        self._backend_peek = getattr(backend, "peek", None)
+        self._backend_value_of = getattr(backend, "value_of", None)
         self._sizer = sizer
         self._lock = lock if lock is not None else _NO_LOCK
         self._values: Dict[str, object] = {}
@@ -166,11 +169,11 @@ class Store:
             outcome = self._backend.lookup(key)
             if outcome is Outcome.HIT:
                 item = self._peek(key)
-                return AccessResult(
-                    key, outcome,
-                    size=item.size if item is not None else 0,
-                    cost=item.cost if item is not None else 0.0,
-                    value=self._value_of(key), resident=True)
+                if item is not None:
+                    return AccessResult(key, outcome, item.size, item.cost,
+                                        self._value_of(key), True)
+                return AccessResult(key, outcome, 0, 0.0,
+                                    self._value_of(key), True)
             return AccessResult(key, outcome,
                                 expired=outcome is Outcome.EXPIRED)
 
@@ -202,6 +205,29 @@ class Store:
             return AccessResult(key, outcome, size=size, cost=cost,
                                 value=value, resident=resident)
 
+    def put_outcome(self, key: str, size: int, cost: Number = 0.0,
+                    ttl: Optional[float] = None, value: object = None,
+                    **meta: object) -> Outcome:
+        """:meth:`put` without the per-request result allocation.
+
+        Same insert semantics; returns only the :class:`Outcome`.  The
+        residency-after-rejection detail that :meth:`put` reports via
+        ``.resident`` is not computed — callers that only branch on "was
+        the new pair stored" (the memcached ``set`` verb) use this.
+        """
+        with self._lock:
+            if self._backend_stores_values:
+                if value is None:
+                    raise ConfigurationError(
+                        f"this store's backend holds value payloads; "
+                        f"pass value= when putting {key!r}")
+                return self._backend.insert(key, size, cost, ttl=ttl,
+                                            value=value, **meta)
+            outcome = self._backend.insert(key, size, cost, ttl=ttl)
+            if outcome is Outcome.MISS_INSERTED and value is not None:
+                self._memoize(key, value)
+            return outcome
+
     def access(self, key: str, size: int, cost: Number,
                ttl: Optional[float] = None) -> AccessResult:
         """One simulator step: lookup, record metrics, insert on miss.
@@ -212,17 +238,48 @@ class Store:
         with self._lock:
             backend = self._backend
             outcome = backend.lookup(key)
-            hit = outcome is Outcome.HIT
+            if outcome is Outcome.HIT:
+                if self.metrics is not None:
+                    self.metrics.record(key, size, cost, True)
+                return AccessResult(key, outcome, size, cost, None, True)
             if self.metrics is not None:
-                self.metrics.record(key, size, cost, hit)
-            if hit:
-                return AccessResult(key, outcome, size=size, cost=cost,
-                                    resident=True)
+                self.metrics.record(key, size, cost, False)
             expired = outcome is Outcome.EXPIRED
             outcome = backend.insert(key, size, cost, ttl=ttl)
-            return AccessResult(key, outcome, size=size, cost=cost,
-                                resident=outcome is Outcome.MISS_INSERTED,
-                                expired=expired)
+            return AccessResult(key, outcome, size, cost, None,
+                                outcome is Outcome.MISS_INSERTED, expired)
+
+    def access_outcome(self, key: str, size: int, cost: Number,
+                       ttl: Optional[float] = None) -> Outcome:
+        """:meth:`access` without the per-request result allocation.
+
+        Returns only the final :class:`Outcome` (the lookup's HIT, or
+        what happened to the insert-on-miss) — exactly the information
+        the trace simulator tallies, so its per-request loop allocates
+        nothing.  Metrics recording and semantics match :meth:`access`;
+        an expired lookup reports the follow-up insert's outcome, as
+        ``access`` reports it in ``.outcome``.
+
+        Only meaningful on lock-free stores (the simulator's); locked
+        stores fall back to the same path under their lock.
+        """
+        lock = self._lock
+        if lock is not _NO_LOCK:
+            with lock:
+                return self._access_outcome_unlocked(key, size, cost, ttl)
+        return self._access_outcome_unlocked(key, size, cost, ttl)
+
+    def _access_outcome_unlocked(self, key: str, size: int, cost: Number,
+                                 ttl: Optional[float]) -> Outcome:
+        backend = self._backend
+        outcome = backend.lookup(key)
+        if outcome is Outcome.HIT:
+            if self.metrics is not None:
+                self.metrics.record(key, size, cost, True)
+            return outcome
+        if self.metrics is not None:
+            self.metrics.record(key, size, cost, False)
+        return backend.insert(key, size, cost, ttl=ttl)
 
     def get_or_compute(self, key: str, loader: Loader,
                        ttl: Optional[float] = None,
@@ -444,12 +501,12 @@ class Store:
 
     def _value_of(self, key: str) -> object:
         if self._backend_stores_values:
-            value_of = getattr(self._backend, "value_of", None)
+            value_of = self._backend_value_of
             return value_of(key) if value_of is not None else None
         return self._values.get(key)
 
     def _peek(self, key: str) -> Optional[CacheItem]:
-        peek = getattr(self._backend, "peek", None)
+        peek = self._backend_peek
         return peek(key) if peek is not None else None
 
     # ------------------------------------------------------------------
@@ -639,14 +696,26 @@ class StoreConfig:
         else:
             policy = make_policy(self._policy_name, self._capacity,
                                  **self._policy_kwargs)
+        store_lock = self._lock
         if self._thread_safe:
-            policy = ThreadSafePolicy(policy)
+            if getattr(policy, "concurrent_safe", False):
+                # internally synchronized policies (sharded CAMP's
+                # striped locks) must not gain a global policy lock on
+                # top — that re-serializes every event and undoes the
+                # striping.  The KVS byte accounting still needs mutual
+                # exclusion, so the *store* gets a lock instead: policy
+                # events stay striped for direct policy users while
+                # whole-store operations serialize exactly once.
+                if store_lock is None:
+                    store_lock = threading.Lock()
+            else:
+                policy = ThreadSafePolicy(policy)
         kvs = KVS(self._capacity, policy, admission=self._admission,
                   item_overhead=self._item_overhead, clock=self._clock)
         for listener in self._listeners:
             kvs.add_listener(listener)
         store = Store(kvs, metrics=self._metrics, sizer=self._sizer,
-                      lock=self._lock)
+                      lock=store_lock)
         if self._persistence_config is not None:
             self._wire_persistence(store, kvs)
         return store

@@ -14,6 +14,8 @@ Subcommands:
   into a durable store and snapshot it), ``restore`` (recover + report),
   ``inspect`` (generations, log health), ``compact`` (fold the log into
   a fresh snapshot generation)
+* ``bench``       — run a named benchmark (``hotpath`` or an experiment
+  id), optionally under cProfile (``--profile [out.prof]``)
 """
 
 from __future__ import annotations
@@ -135,6 +137,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_compact = persist_sub.add_parser(
         "compact", help="fold the operation log into a fresh snapshot")
     p_compact.add_argument("state_dir", help="state directory to rewrite")
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="run a named benchmark (hotpath, or any experiment id), "
+             "optionally under cProfile")
+    bench_cmd.add_argument("name",
+                           help="'hotpath' (simulate() micro-benchmark) "
+                                "or an experiment id from 'list'")
+    bench_cmd.add_argument("--scale", default="default",
+                           choices=("tiny", "default", "full"))
+    bench_cmd.add_argument("--profile", nargs="?", const="-",
+                           metavar="OUT.prof", default=None,
+                           help="run under cProfile; print the hottest "
+                                "functions, and dump pstats data to "
+                                "OUT.prof when a path is given")
+    bench_cmd.add_argument("--top", type=int, default=25,
+                           help="profile rows to print (default 25)")
 
     compare_cmd = sub.add_parser(
         "compare", help="run several policies over one trace, side by side")
@@ -412,6 +431,58 @@ def _persist_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run one named benchmark, optionally under cProfile.
+
+    ``hotpath`` replays the primary figure trace through ``simulate()``
+    for CAMP and LRU and prints ops/s — the same pipeline
+    ``benchmarks/test_hotpath.py`` gates; any other name is resolved as
+    an experiment id and timed end to end.
+    """
+    import cProfile
+    import pstats
+    import time as time_module
+
+    def run_target() -> None:
+        if args.name == "hotpath":
+            from repro.cache.kvs import KVS
+            from repro.core import CampPolicy, LruPolicy
+            from repro.experiments.data import primary_trace
+            from repro.sim import simulate as run_simulate
+            trace = primary_trace(args.scale)
+            capacity = trace.capacity_for_ratio(0.25)
+            for name, policy in (
+                    ("camp", CampPolicy(precision=5, stats=False)),
+                    ("lru", LruPolicy())):
+                result = run_simulate(KVS(capacity, policy), trace)
+                ops = len(trace) / max(result.wall_seconds, 1e-9)
+                print(f"hotpath {name:5s}: {result.wall_seconds:.3f}s "
+                      f"for {len(trace)} requests ({ops:,.0f} ops/s, "
+                      f"miss rate {result.miss_rate:.4f})")
+        else:
+            from repro.experiments import run_experiment
+            for table in run_experiment(args.name, scale=args.scale):
+                print(table.to_ascii())
+
+    if args.profile is None:
+        started = time_module.perf_counter()
+        run_target()
+        print(f"bench {args.name}: "
+              f"{time_module.perf_counter() - started:.3f}s total")
+        return 0
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_target()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    if args.profile != "-":
+        stats.dump_stats(args.profile)
+        print(f"profile data written to {args.profile} "
+              f"(open with pstats or snakeviz)")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import Table
     from repro.sim import sweep_cache_sizes
@@ -454,6 +525,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_tenancy(args)
         if args.command == "persist":
             return _cmd_persist(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "compare":
             return _cmd_compare(args)
     except ReproError as exc:

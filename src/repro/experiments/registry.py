@@ -89,7 +89,8 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
               "CAMP vs GD-Wheel vs GDSF",
               ablations.run_competitor_ablation),
         _spec("ablation-sharding", "section 4.1",
-              "Hash-partitioned CAMP shards",
+              "Hash-partitioned CAMP shards (striped locks, threaded "
+              "timing)",
               ablations.run_sharding_ablation),
         _spec("tenancy", "section 1 ext.",
               "Multi-tenant arbitration: static vs shared vs arbitrated CAMP",

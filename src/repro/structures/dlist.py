@@ -77,12 +77,12 @@ class DList:
         """Insert ``node`` at the tail (most-recent end)."""
         if node._list is not None:
             raise ReproError("node is already linked into a list")
-        last = self._sentinel.prev
-        assert last is not None
+        sentinel = self._sentinel
+        last = sentinel.prev
         node.prev = last
-        node.next = self._sentinel
+        node.next = sentinel
         last.next = node
-        self._sentinel.prev = node
+        sentinel.prev = node
         node._list = self
         self._size += 1
 
@@ -119,7 +119,6 @@ class DList:
         if node._list is not self:
             raise ReproError("node does not belong to this list")
         prev, nxt = node.prev, node.next
-        assert prev is not None and nxt is not None
         prev.next = nxt
         nxt.prev = prev
         node.prev = None
@@ -129,10 +128,17 @@ class DList:
 
     def popleft(self) -> DListNode:
         """Remove and return the head node."""
-        node = self.head
-        if node is None:
+        if self._size == 0:
             raise ReproError("popleft from an empty DList")
-        self.remove(node)
+        sentinel = self._sentinel
+        node = sentinel.next
+        nxt = node.next
+        sentinel.next = nxt
+        nxt.prev = sentinel
+        node.prev = None
+        node.next = None
+        node._list = None
+        self._size -= 1
         return node
 
     def pop(self) -> DListNode:
@@ -144,13 +150,26 @@ class DList:
         return node
 
     def move_to_tail(self, node: DListNode) -> None:
-        """Move an already-linked node to the tail (the LRU 'touch')."""
+        """Move an already-linked node to the tail (the LRU 'touch').
+
+        This is the single hottest list operation (every cache hit in
+        every LRU-family policy lands here), so the links are respliced
+        directly rather than through a remove/append pair: no membership
+        or size bookkeeping needs to change.
+        """
         if node._list is not self:
             raise ReproError("node does not belong to this list")
-        if self._sentinel.prev is node:
+        sentinel = self._sentinel
+        if sentinel.prev is node:
             return
-        self.remove(node)
-        self.append(node)
+        prev, nxt = node.prev, node.next
+        prev.next = nxt
+        nxt.prev = prev
+        last = sentinel.prev
+        node.prev = last
+        node.next = sentinel
+        last.next = node
+        sentinel.prev = node
 
     def successor(self, node: DListNode) -> Optional[DListNode]:
         """The node after ``node``, or ``None`` if it is the tail."""

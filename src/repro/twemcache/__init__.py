@@ -12,7 +12,8 @@ from __future__ import annotations
 from repro.twemcache.async_client import AsyncSocketClient
 from repro.twemcache.async_server import AsyncTwemcacheServer
 from repro.twemcache.buddy import BuddyAllocator
-from repro.twemcache.client import InProcessClient, SocketClient
+from repro.twemcache.client import (InProcessClient, LoopbackClient,
+                                    SocketClient)
 from repro.twemcache.driver import ReplayResult, replay_trace
 from repro.twemcache.engine import (
     ITEM_HEADER_SIZE,
@@ -66,6 +67,7 @@ __all__ = [
     "SocketClient",
     "AsyncSocketClient",
     "InProcessClient",
+    "LoopbackClient",
     "ReplayResult",
     "replay_trace",
 ]

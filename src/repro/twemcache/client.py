@@ -1,12 +1,17 @@
-"""Clients for the Twemcache server: socket-based and in-process.
+"""Clients for the Twemcache server: socket-based, loopback, in-process.
 
 :class:`SocketClient` plays the role of the Whalin memcached client from
 the paper's section 4 (real TCP, real serialization).
-:class:`InProcessClient` bypasses the network for micro-benchmarks that
-isolate the engine's replacement-decision overhead.
-Both expose the same ``get``/``set``/``delete`` surface so
+:class:`LoopbackClient` keeps the full protocol path — command
+rendering, the server's sans-IO byte-stream state machine, response
+parsing — but binds it directly to an engine with no sockets: the
+deterministic stand-in for the paper's served-system measurements
+(Figure 9 replays through it).  :class:`InProcessClient` bypasses even
+the protocol for micro-benchmarks that isolate the engine's
+replacement-decision overhead.
+All three expose the same ``get``/``set``/``delete`` surface so
 :class:`~repro.twemcache.iq.IqSession` and the trace replayer work over
-either transport.
+any of them.
 """
 
 from __future__ import annotations
@@ -16,10 +21,10 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import ProtocolError
 from repro.twemcache.engine import TwemcacheEngine
-from repro.twemcache.protocol import (CRLF, chunk_get_keys, parse_number,
-                                      parse_value_header)
+from repro.twemcache.protocol import (CRLF, ServerSession, chunk_get_keys,
+                                      parse_number, parse_value_header)
 
-__all__ = ["SocketClient", "InProcessClient"]
+__all__ = ["SocketClient", "LoopbackClient", "InProcessClient"]
 
 Number = Union[int, float]
 
@@ -178,6 +183,62 @@ class SocketClient:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class LoopbackClient:
+    """The protocol path without the kernel: every request is rendered
+    to wire bytes, framed through the server's
+    :class:`~repro.twemcache.protocol.ServerSession` state machine, and
+    every response is parsed back — exactly what a served request pays,
+    minus the socket hop.
+
+    The paper's Figure 9 measures Twemcache *as served* (its run time
+    includes the protocol work of a real deployment, which is why CAMP's
+    replacement arithmetic registers as only a few percent there); this
+    client reproduces that measurement deterministically.
+    """
+
+    def __init__(self, engine: TwemcacheEngine) -> None:
+        self._session = ServerSession(engine)
+
+    def get(self, key: str) -> Optional[_Value]:
+        data, _ = self._session.receive(
+            b"get " + key.encode("utf-8") + CRLF)
+        if data.startswith(b"END"):
+            return None
+        header_end = data.index(CRLF)
+        _key, flags, nbytes = parse_value_header(data[:header_end])
+        start = header_end + 2
+        return _Value(bytes(data[start:start + nbytes]), flags)
+
+    def get_many(self, keys) -> Dict[str, _Value]:
+        found: Dict[str, _Value] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not None:
+                found[key] = value
+        return found
+
+    def set(self, key: str, value: bytes, flags: int = 0,
+            expire_after: float = 0, cost: Number = 0) -> bool:
+        header = f"set {key} {flags} {expire_after} {len(value)} {cost}"
+        data, _ = self._session.receive(
+            header.encode("utf-8") + CRLF + value + CRLF)
+        return data == b"STORED" + CRLF
+
+    def delete(self, key: str) -> bool:
+        data, _ = self._session.receive(
+            b"delete " + key.encode("utf-8") + CRLF)
+        return data == b"DELETED" + CRLF
+
+    def stats(self) -> Dict[str, Number]:
+        data, _ = self._session.receive(b"stats" + CRLF)
+        out: Dict[str, Number] = {}
+        for line in data.split(CRLF):
+            if line.startswith(b"STAT "):
+                _stat, name, value = line.decode("utf-8").split(" ", 2)
+                out[name] = parse_number(value, name)
+        return out
 
 
 class InProcessClient:

@@ -29,6 +29,7 @@ with the simulator's KVS rather than re-implemented here.
 
 from __future__ import annotations
 
+import itertools
 import pathlib
 import random
 import threading
@@ -101,7 +102,8 @@ class _SlabBackend:
         item = engine._items.get(key)
         if item is None:
             return Outcome.MISS
-        if item.expired(engine._clock()):
+        expire_at = item.expire_at
+        if expire_at != 0 and engine._clock() >= expire_at:
             engine._forget(item)
             return Outcome.EXPIRED
         engine._policy_for_class(item.class_id).on_hit(key)
@@ -138,6 +140,8 @@ class _SlabBackend:
                           expire_at=expire_at, cost=cost,
                           chunk=chunk, class_id=class_id)
         engine._items[key] = item
+        if expire_at:
+            engine._ttl_items += 1
         engine._policy_for_class(class_id).on_insert(key, size, cost)
         return Outcome.MISS_INSERTED
 
@@ -154,7 +158,9 @@ class _SlabBackend:
         item = engine._items.get(key)
         if item is None or item.expired(engine._clock()):
             return False
+        had_ttl = item.expire_at != 0
         item.expire_at = engine._clock() + ttl if ttl else 0
+        engine._ttl_items += (item.expire_at != 0) - had_ttl
         return True
 
     def value_of(self, key: str) -> Optional[StoredItem]:
@@ -197,6 +203,10 @@ class TwemcacheEngine:
         self._clock = clock if clock is not None else time.monotonic
         self._rng = random.Random(seed)
         self._items: Dict[str, StoredItem] = {}
+        #: resident items carrying a TTL; while 0, the allocation path's
+        #: expired-replacement probe (step 1) is provably fruitless and
+        #: is skipped entirely — trace replays without TTLs pay nothing
+        self._ttl_items = 0
         self._policies: Dict[int, EvictionPolicy] = {}
         # CAMP instances share one converter so ratios stay comparable
         self._converter = RatioConverter()
@@ -223,8 +233,10 @@ class TwemcacheEngine:
         policy = self._policies.get(class_id)
         if policy is None:
             if self._eviction_kind == "camp":
+                # production path: stats accounting off (zero-cost toggle;
+                # decisions are identical, see the equivalence tests)
                 policy = CampPolicy(precision=self._camp_precision,
-                                    converter=self._converter)
+                                    converter=self._converter, stats=False)
             else:
                 policy = LruPolicy()
             self._policies[class_id] = policy
@@ -265,12 +277,13 @@ class TwemcacheEngine:
         A rejected *replacement* returns False with the old copy still
         resident (check ``store.put(...).outcome`` for the reason).
         """
-        with self._lock:
-            size = self._item_size(key, value)
-            result = self._store.put(key, size, cost,
-                                     ttl=expire_after or None,
-                                     value=value, flags=flags)
-            return result.outcome is Outcome.MISS_INSERTED
+        # no engine-lock acquisition here: put_outcome serializes on the
+        # same (re-entrant) engine lock, and the size arithmetic is pure
+        size = len(key) + len(value) + ITEM_HEADER_SIZE
+        outcome = self._store.put_outcome(key, size, cost,
+                                          ttl=expire_after or None,
+                                          value=value, flags=flags)
+        return outcome is Outcome.MISS_INSERTED
 
     def add(self, key: str, value: bytes, **kwargs) -> bool:
         """Store only if the key is absent (memcached ``add``)."""
@@ -349,9 +362,9 @@ class TwemcacheEngine:
     # allocation path (the paper's four steps)
     # ------------------------------------------------------------------
     def _acquire_chunk(self, class_id: int, key: str) -> Optional[ChunkRef]:
-        # step 1: replace an expired pair of this class
-        reclaimed = self._reclaim_expired(class_id)
-        if reclaimed:
+        # step 1: replace an expired pair of this class (skipped outright
+        # while no resident item carries a TTL)
+        if self._ttl_items and self._reclaim_expired(class_id):
             self.expired_reclaims += 1
         # steps 2-3: free chunk or fresh slab
         chunk = self._allocator.try_allocate(class_id, key)
@@ -362,9 +375,14 @@ class TwemcacheEngine:
         if len(policy):
             victim_key = policy.pop_victim()
             victim = self._items.pop(victim_key)
-            self._allocator.free(victim.chunk)
+            if victim.expire_at:
+                self._ttl_items -= 1
             self.evictions += 1
-            return self._allocator.try_allocate(class_id, key)
+            # step 4 verbatim: the victim's chunk is the same class, so
+            # the new pair replaces its contents in place — no free-list
+            # round trip on the eviction path
+            self._allocator.replace(victim.chunk, key)
+            return victim.chunk
         # calcified: no slabs and nothing to evict in this class
         if self._random_slab_eviction:
             return self._steal_random_slab(class_id, key)
@@ -376,7 +394,9 @@ class TwemcacheEngine:
         if policy is None or not isinstance(policy, LruPolicy):
             return self._reclaim_expired_scan(class_id, probe_depth)
         now = self._clock()
-        for key in list(policy.keys_lru_to_mru())[:probe_depth]:
+        # bounded walk from the LRU end — the seed materialized the whole
+        # queue per insert, an O(resident) tax on every set
+        for key in itertools.islice(policy.keys_lru_to_mru(), probe_depth):
             item = self._items[key]
             if item.expired(now):
                 self._forget(item)
@@ -405,7 +425,9 @@ class TwemcacheEngine:
         evicted = self._allocator.reassign_slab(slab, class_id)
         donor_policy = self._policies.get(donor_class)
         for victim_key in evicted:
-            self._items.pop(victim_key, None)
+            victim = self._items.pop(victim_key, None)
+            if victim is not None and victim.expire_at:
+                self._ttl_items -= 1
             if donor_policy is not None and victim_key in donor_policy:
                 donor_policy.on_remove(victim_key)
             self.evictions += 1
@@ -413,7 +435,8 @@ class TwemcacheEngine:
         return self._allocator.try_allocate(class_id, key)
 
     def _forget(self, item: StoredItem) -> None:
-        self._items.pop(item.key, None)
+        if self._items.pop(item.key, None) is not None and item.expire_at:
+            self._ttl_items -= 1
         policy = self._policies.get(item.class_id)
         if policy is not None and item.key in policy:
             policy.on_remove(item.key)

@@ -97,7 +97,46 @@ def parse_number(token: str, what: str) -> Number:
 
 
 def parse_command_line(line: bytes) -> Request:
-    """Parse one CRLF-stripped command line into a :class:`Request`."""
+    """Parse one CRLF-stripped command line into a :class:`Request`.
+
+    The two commands that dominate every served workload — single-key
+    ``get`` and well-formed ``set`` — take a short-circuit lane; any
+    irregularity falls through to the general parser below, whose error
+    reporting is the behavioural contract.
+    """
+    if line.startswith(b"get "):
+        # decode-then-split exactly like the general parser, so keys
+        # separated by non-space whitespace still parse as multi-gets
+        try:
+            tokens = line.decode("utf-8").split()
+        except UnicodeDecodeError:
+            tokens = []
+        if len(tokens) == 2:
+            return Request(command="get", keys=[tokens[1]])
+    elif line.startswith(b"set "):
+        try:
+            parts_fast = line.decode("utf-8").split()
+        except UnicodeDecodeError:
+            parts_fast = []
+        if len(parts_fast) in (5, 6):
+            try:
+                flags = int(parts_fast[2])
+                exptime = float(parts_fast[3])
+                nbytes = int(parts_fast[4])
+                cost: Number = 0
+                if len(parts_fast) == 6:
+                    raw = parts_fast[5]
+                    try:
+                        cost = int(raw)
+                    except ValueError:
+                        cost = float(raw)
+            except ValueError:
+                pass
+            else:
+                if nbytes >= 0 and cost >= 0:
+                    return Request(command="set", keys=[parts_fast[1]],
+                                   flags=flags, exptime=exptime,
+                                   nbytes=nbytes, cost=cost)
     try:
         text = line.decode("utf-8")
     except UnicodeDecodeError:

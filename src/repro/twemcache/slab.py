@@ -18,6 +18,7 @@ the caller (the engine) maps them to stored items.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -44,20 +45,27 @@ class SlabClassInfo:
 
 
 class Slab:
-    """One slab: a class assignment plus per-chunk occupancy."""
+    """One slab: a class assignment plus per-chunk occupancy.
 
-    __slots__ = ("slab_id", "class_id", "chunks", "free_indices")
+    ``class_id`` is set to ``-1`` when the slab is reassigned (its object
+    dies and a reborn one takes its place) — the marker lets stale free
+    refs be rejected with one comparison instead of a membership scan.
+    Occupancy is a counter, not a free-index list: the allocation path
+    used to pay an O(chunks-per-slab) ``list.remove`` per allocation.
+    """
+
+    __slots__ = ("slab_id", "class_id", "chunks", "used")
 
     def __init__(self, slab_id: int, class_id: int, num_chunks: int) -> None:
         self.slab_id = slab_id
         self.class_id = class_id
         # chunk index -> occupant key (None = free)
         self.chunks: List[Optional[str]] = [None] * num_chunks
-        self.free_indices: List[int] = list(range(num_chunks))
+        self.used = 0
 
     @property
     def used_chunks(self) -> int:
-        return len(self.chunks) - len(self.free_indices)
+        return self.used
 
     def occupants(self) -> List[str]:
         return [key for key in self.chunks if key is not None]
@@ -101,6 +109,9 @@ class SlabAllocator:
         self._free_chunks: Dict[int, List[ChunkRef]] = {
             info.class_id: [] for info in self._classes}
         self._next_slab_id = 0
+        self._allocated_slabs = 0
+        #: sorted chunk sizes for O(log n) size-to-class routing
+        self._chunk_sizes = [info.chunk_size for info in self._classes]
 
     @staticmethod
     def _build_classes(slab_size: int, min_chunk: int,
@@ -134,7 +145,7 @@ class SlabAllocator:
 
     @property
     def allocated_slabs(self) -> int:
-        return sum(len(slabs) for slabs in self._slabs_by_class.values())
+        return self._allocated_slabs
 
     @property
     def classes(self) -> Sequence[SlabClassInfo]:
@@ -150,10 +161,10 @@ class SlabAllocator:
         """Smallest class whose chunk fits ``size`` bytes, or None."""
         if size < 1:
             raise ConfigurationError(f"size must be >= 1, got {size}")
-        for info in self._classes:
-            if info.chunk_size >= size:
-                return info.class_id
-        return None
+        index = bisect_left(self._chunk_sizes, size)
+        if index == len(self._chunk_sizes):
+            return None
+        return self._classes[index].class_id
 
     def slabs_of_class(self, class_id: int) -> Sequence[Slab]:
         return tuple(self._slabs_by_class[class_id])
@@ -168,7 +179,7 @@ class SlabAllocator:
         chunk = self._pop_free_chunk(class_id, key)
         if chunk is not None:
             return chunk
-        if self.allocated_slabs < self._max_slabs:
+        if self._allocated_slabs < self._max_slabs:
             slab = self._grow_class(class_id)
             free_list = self._free_chunks[class_id]
             for index in range(len(slab.chunks)):
@@ -178,15 +189,15 @@ class SlabAllocator:
 
     def _pop_free_chunk(self, class_id: int, key: str) -> Optional[ChunkRef]:
         free_list = self._free_chunks[class_id]
-        slabs = self._slabs_by_class[class_id]
         while free_list:
             chunk = free_list.pop()
-            # stale refs can linger after slab reassignment
-            if chunk.slab.class_id == class_id and \
-                    chunk.slab.chunks[chunk.index] is None and \
-                    chunk.slab in slabs:
-                chunk.slab.chunks[chunk.index] = key
-                chunk.slab.free_indices.remove(chunk.index)
+            # stale refs can linger after slab reassignment; dead slabs
+            # carry class_id -1, so one comparison rejects them
+            slab = chunk.slab
+            if slab.class_id == class_id and \
+                    slab.chunks[chunk.index] is None:
+                slab.chunks[chunk.index] = key
+                slab.used += 1
                 return chunk
         return None
 
@@ -195,7 +206,21 @@ class SlabAllocator:
         slab = Slab(self._next_slab_id, class_id, info.chunks_per_slab)
         self._next_slab_id += 1
         self._slabs_by_class[class_id].append(slab)
+        self._allocated_slabs += 1
         return slab
+
+    def replace(self, chunk: ChunkRef, key: str) -> None:
+        """Hand an occupied chunk to a new key in place (the paper's step
+        4: "evict an existing pair ... and replace its contents").
+
+        Equivalent to ``free(chunk)`` + ``try_allocate`` landing on the
+        same chunk, without the free-list round trip the eviction path
+        would otherwise pay on every insert-at-capacity.
+        """
+        slab = chunk.slab
+        if slab.chunks[chunk.index] is None:
+            raise AllocationError("replace of a free slab chunk")
+        slab.chunks[chunk.index] = key
 
     def free(self, chunk: ChunkRef) -> None:
         """Return a chunk to its class's free pool."""
@@ -203,8 +228,11 @@ class SlabAllocator:
         if slab.chunks[chunk.index] is None:
             raise AllocationError("double free of a slab chunk")
         slab.chunks[chunk.index] = None
-        slab.free_indices.append(chunk.index)
-        self._free_chunks[slab.class_id].append(ChunkRef(slab, chunk.index))
+        slab.used -= 1
+        if slab.class_id >= 0:
+            # the ref itself goes back to the pool (no new allocation);
+            # chunks of dead (reassigned) slabs are simply dropped
+            self._free_chunks[slab.class_id].append(chunk)
 
     # ------------------------------------------------------------------
     # calcification mitigation
@@ -215,10 +243,12 @@ class SlabAllocator:
         The caller picks the victim slab (Twemcache picks randomly) and is
         responsible for forgetting the returned occupants.
         """
-        if slab not in self._slabs_by_class[slab.class_id]:
+        if slab.class_id < 0 or \
+                slab not in self._slabs_by_class[slab.class_id]:
             raise AllocationError("slab is not owned by its recorded class")
         evicted = slab.occupants()
         self._slabs_by_class[slab.class_id].remove(slab)
+        slab.class_id = -1  # stale free refs die at the validation check
         info = self.class_info(to_class)
         reborn = Slab(slab.slab_id, to_class, info.chunks_per_slab)
         self._slabs_by_class[to_class].append(reborn)
@@ -250,13 +280,17 @@ class SlabAllocator:
         }
 
     def check_invariants(self) -> None:
-        """No chunk double-booked; free lists consistent (test hook)."""
+        """No chunk double-booked; occupancy counters consistent."""
+        total = 0
         for class_id, slabs in self._slabs_by_class.items():
             for slab in slabs:
+                total += 1
                 if slab.class_id != class_id:
                     raise AllocationError("slab filed under the wrong class")
-                free = set(slab.free_indices)
-                for index, key in enumerate(slab.chunks):
-                    if (key is None) != (index in free):
-                        raise AllocationError(
-                            f"slab {slab.slab_id} chunk {index} inconsistent")
+                occupied = sum(1 for key in slab.chunks if key is not None)
+                if occupied != slab.used:
+                    raise AllocationError(
+                        f"slab {slab.slab_id} used-count {slab.used} != "
+                        f"{occupied} occupied chunks")
+        if total != self._allocated_slabs:
+            raise AllocationError("allocated-slab counter out of sync")

@@ -70,6 +70,7 @@ class Trace:
         self.name = name
         self._unique_bytes: int | None = None
         self._unique_keys: int | None = None
+        self._tape: List[tuple] | None = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -109,6 +110,18 @@ class Trace:
     def capacity_for_ratio(self, ratio: float) -> int:
         """Cache bytes corresponding to a *cache size ratio* (section 3)."""
         return max(1, int(self.unique_bytes * ratio))
+
+    def tape(self) -> List[tuple]:
+        """The trace precompiled to ``(key, size, cost)`` tuples.
+
+        Materialized once and cached: the simulator's request loop
+        unpacks tuples instead of reading record attributes, and policy
+        sweeps replaying the same trace share the materialization.  The
+        tape is a view for tight loops — mutating it is not supported.
+        """
+        if self._tape is None:
+            self._tape = [(r.key, r.size, r.cost) for r in self._records]
+        return self._tape
 
     def cost_histogram(self) -> Dict[Number, int]:
         """Request counts per distinct cost value (pool-sizing oracle)."""

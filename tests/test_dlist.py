@@ -206,3 +206,106 @@ class TestIterationAndSuccessor:
         lst.clear()
         assert len(lst) == 0
         assert all(not n.linked for n in nodes)
+
+
+class TestFuzzAgainstListModel:
+    """Model-based fuzz for the inlined link manipulation (PR 5).
+
+    The hot paths splice node links directly (CAMP's move-to-tail,
+    popleft and tail-append are inlined at their call sites), so the
+    list's own operations are fuzzed against a plain-Python-list oracle,
+    checking order, size, link symmetry and membership flags after every
+    step.
+    """
+
+    @staticmethod
+    def _check_structure(lst, oracle):
+        assert len(lst) == len(oracle)
+        assert values(lst) == [n.value for n in oracle]
+        assert [node.value for node in _reversed_values(lst)] == \
+            [n.value for n in reversed(oracle)]
+        for node in oracle:
+            assert node.linked
+        if oracle:
+            assert lst.head is oracle[0]
+            assert lst.tail is oracle[-1]
+        else:
+            assert lst.head is None and lst.tail is None
+
+    def test_random_operations_match_oracle(self):
+        import random
+
+        rng = random.Random(0xC0FFEE)
+        for _ in range(30):
+            lst = DList()
+            oracle = []
+            counter = 0
+            for _step in range(400):
+                op = rng.choice(("append", "appendleft", "insert_after",
+                                 "remove", "popleft", "pop",
+                                 "move_to_tail", "successor"))
+                if op == "append" or not oracle and op not in ("append",
+                                                               "appendleft"):
+                    node = Payload(counter)
+                    counter += 1
+                    lst.append(node)
+                    oracle.append(node)
+                elif op == "appendleft":
+                    node = Payload(counter)
+                    counter += 1
+                    lst.appendleft(node)
+                    oracle.insert(0, node)
+                elif op == "insert_after":
+                    anchor = rng.choice(oracle)
+                    node = Payload(counter)
+                    counter += 1
+                    lst.insert_after(anchor, node)
+                    oracle.insert(oracle.index(anchor) + 1, node)
+                elif op == "remove":
+                    node = rng.choice(oracle)
+                    lst.remove(node)
+                    oracle.remove(node)
+                    assert not node.linked
+                elif op == "popleft":
+                    node = lst.popleft()
+                    assert node is oracle.pop(0)
+                    assert not node.linked
+                elif op == "pop":
+                    node = lst.pop()
+                    assert node is oracle.pop()
+                    assert not node.linked
+                elif op == "move_to_tail":
+                    node = rng.choice(oracle)
+                    lst.move_to_tail(node)
+                    oracle.remove(node)
+                    oracle.append(node)
+                else:  # successor
+                    node = rng.choice(oracle)
+                    expected = oracle.index(node) + 1
+                    successor = lst.successor(node)
+                    if expected == len(oracle):
+                        assert successor is None
+                    else:
+                        assert successor is oracle[expected]
+                self._check_structure(lst, oracle)
+
+    def test_detached_node_errors_after_fuzz(self):
+        lst = DList()
+        node = Payload(1)
+        lst.append(node)
+        assert lst.popleft() is node
+        with pytest.raises(ReproError):
+            lst.remove(node)
+        with pytest.raises(ReproError):
+            lst.move_to_tail(node)
+
+
+def _reversed_values(lst):
+    """Walk tail-to-head through the raw links (symmetry check)."""
+    out = []
+    node = lst.tail
+    while node is not None:
+        out.append(node)
+        prev = node.prev
+        node = None if prev is lst._sentinel else prev
+    return out
