@@ -75,6 +75,11 @@ class AsyncStore:
                 outcome = store._backend.lookup(key)
                 if outcome is Outcome.HIT and not store._value_lost(key):
                     return store._hit_access(key)
+                if (outcome is Outcome.HIT_L2
+                        or outcome is Outcome.MISS_PROMOTED):
+                    served = store._l2_access(key, outcome, loader)
+                    if served is not None:
+                        return served
             expired = outcome is Outcome.EXPIRED
             flight = asyncio.ensure_future(
                 self._load(key, loader, ttl, size, cost, expired))
@@ -106,6 +111,13 @@ class AsyncStore:
                 if store._value_lost(key):
                     return store._adopt_reloaded(key, loaded)
                 return store._hit_access(key)
+            if outcome is Outcome.HIT_L2 or outcome is Outcome.MISS_PROMOTED:
+                # the loader already ran; the disk tier re-served the key
+                # meanwhile — prefer the tier's payload, else fall through
+                # and store the freshly loaded one over the promoted copy
+                served = store._l2_access(key, outcome, loader)
+                if served is not None:
+                    return served
             expired = expired or outcome is Outcome.EXPIRED
             return store._store_loaded(key, loaded, size, cost, ttl,
                                        elapsed, expired)

@@ -12,14 +12,23 @@ considering size and cost of key-value pairs ... with a two level cache").
 A promotion is charged ``l2_hit_cost_factor * cost`` (reading from SSD is
 cheaper than recomputing, but not free), which the hierarchical metrics in
 :meth:`lookup` surface to the caller.
+
+These classes are the *offline simulation* face of tiering: metadata-only
+levels, one :class:`LookupOutcome` per request, no payloads and no disk.
+The production counterpart — real values in segment files, crash
+recovery, demotion filters — is :mod:`repro.tiering`; both carry TTLs
+through demotion and promotion (an item's remaining lifetime is the same
+however deep it sinks).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro.cache.kvs import KVS
+from repro.cache.outcomes import Outcome
+from repro.core.policy import CacheItem
 from repro.errors import ConfigurationError
 
 __all__ = ["TwoLevelCache", "MultiLevelCache", "LookupOutcome"]
@@ -37,6 +46,18 @@ class LookupOutcome:
     @property
     def hit(self) -> bool:
         return self.level > 0
+
+
+def _remaining_ttl(item: CacheItem, store: KVS) -> Optional[float]:
+    """Seconds of life the item has left on its store's clock.
+
+    None = no expiry; a non-positive return means it has already lapsed
+    (the caller drops it instead of re-inserting an immortal corpse —
+    re-inserting with ``ttl=None`` was exactly the TTL-loss bug).
+    """
+    if not item.expire_at:
+        return None
+    return item.expire_at - store.clock()
 
 
 class TwoLevelCache:
@@ -75,22 +96,26 @@ class TwoLevelCache:
         return self._promotions
 
     # ------------------------------------------------------------------
-    def lookup(self, key: str, size: int, cost: Number) -> LookupOutcome:
+    def lookup(self, key: str, size: int, cost: Number,
+               ttl: Optional[float] = None) -> LookupOutcome:
         """Serve one request read-through: L1, then L2, then 'compute'.
 
-        On a total miss the computed pair is inserted into L1 (demoting an
-        L1 victim into L2 if needed).  On an L2 hit the pair is promoted
-        into L1 and removed from L2.
+        On a total miss the computed pair is inserted into L1 (with
+        ``ttl``, if any; demoting an L1 victim into L2 if needed).  On
+        an L2 hit the pair is promoted into L1 and removed from L2, its
+        remaining TTL — not a fresh one — travelling with it.
         """
-        if self._l1.get(key):
+        if self._l1.lookup(key) is Outcome.HIT:
             return LookupOutcome(level=1, charged_cost=0.0)
-        if key in self._l2:
-            self._l2.get(key)           # refresh L2 policy state
+        if self._l2.lookup(key) is Outcome.HIT:
+            item = self._l2.peek(key)
+            remaining = (_remaining_ttl(item, self._l2)
+                         if item is not None else None)
             self._l2.delete(key)        # promote: move, don't duplicate
             self._promotions += 1
-            self._l1.put(key, size, cost)
+            self._l1.insert(key, size, cost, ttl=remaining)
             return LookupOutcome(level=2, charged_cost=self._factor * cost)
-        self._l1.put(key, size, cost)
+        self._l1.insert(key, size, cost, ttl=ttl)
         return LookupOutcome(level=0, charged_cost=float(cost))
 
     def resident_level(self, key: str) -> int:
@@ -101,9 +126,12 @@ class TwoLevelCache:
             return 2
         return 0
 
-    def _demote(self, key: str, size: int, cost: Number) -> None:
+    def _demote(self, item: CacheItem) -> None:
+        remaining = _remaining_ttl(item, self._l2)
+        if remaining is not None and remaining <= 0:
+            return   # lapsed while resident: drop, don't bury in L2
         self._demotions += 1
-        self._l2.put(key, size, cost)
+        self._l2.insert(item.key, item.size, item.cost, ttl=remaining)
 
 
 class _DemotionListener:
@@ -117,7 +145,7 @@ class _DemotionListener:
 
     def on_evict(self, item, explicit: bool) -> None:
         if not explicit:
-            self._owner._demote(item.key, item.size, item.cost)
+            self._owner._demote(item)
 
 
 class MultiLevelCache:
@@ -172,25 +200,38 @@ class MultiLevelCache:
                 return index
         return 0
 
-    def lookup(self, key: str, size: int, cost: Number) -> LookupOutcome:
-        """Serve one request; hits promote to level 1, misses fill level 1."""
+    def lookup(self, key: str, size: int, cost: Number,
+               ttl: Optional[float] = None) -> LookupOutcome:
+        """Serve one request; hits promote to level 1, misses fill level 1.
+
+        An ``EXPIRED`` at any level reclaims that level's entry and the
+        probe continues deeper — a lapsed L1 copy must not shadow a
+        still-valid L2 one (their TTLs can differ only through
+        :meth:`KVS.touch`, but the contract holds regardless).
+        """
         for index, store in enumerate(self._stores, start=1):
-            if key in store:
-                store.get(key)   # refresh that level's policy
-                if index > 1:
-                    store.delete(key)
-                    self.promotions += 1
-                    self._stores[0].put(key, size, cost)
-                return LookupOutcome(level=index,
-                                     charged_cost=self._factors[index - 1]
-                                     * cost)
-        self._stores[0].put(key, size, cost)
+            if store.lookup(key) is not Outcome.HIT:
+                continue
+            if index > 1:
+                item = store.peek(key)
+                remaining = (_remaining_ttl(item, store)
+                             if item is not None else None)
+                store.delete(key)
+                self.promotions += 1
+                self._stores[0].insert(key, size, cost, ttl=remaining)
+            return LookupOutcome(level=index,
+                                 charged_cost=self._factors[index - 1]
+                                 * cost)
+        self._stores[0].insert(key, size, cost, ttl=ttl)
         return LookupOutcome(level=0, charged_cost=float(cost))
 
-    def _demote(self, level_index: int, key: str, size: int,
-                cost: Number) -> None:
+    def _demote(self, level_index: int, item: CacheItem) -> None:
+        below = self._stores[level_index]
+        remaining = _remaining_ttl(item, below)
+        if remaining is not None and remaining <= 0:
+            return
         self.demotions += 1
-        self._stores[level_index].put(key, size, cost)
+        below.insert(item.key, item.size, item.cost, ttl=remaining)
 
 
 class _CascadeListener:
@@ -205,5 +246,4 @@ class _CascadeListener:
 
     def on_evict(self, item, explicit: bool) -> None:
         if not explicit:
-            self._owner._demote(self._below_index, item.key, item.size,
-                                item.cost)
+            self._owner._demote(self._below_index, item)

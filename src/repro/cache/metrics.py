@@ -33,8 +33,10 @@ class SimulationMetrics:
     cold_requests: int = 0
     hits: int = 0
     misses: int = 0
+    l2_hits: int = 0
     cost_total: float = 0.0
     cost_missed: float = 0.0
+    cost_l2_served: float = 0.0
     bytes_total: int = 0
     bytes_missed: int = 0
     _seen: Set[str] = field(default_factory=set, repr=False)
@@ -55,10 +57,38 @@ class SimulationMetrics:
         self.cost_total += cost
         self.bytes_total += size
 
+    def record_l2(self, key: str, size: int, cost: Number,
+                  charged: Number) -> None:
+        """Account one disk-tier-served request (HIT_L2 / MISS_PROMOTED).
+
+        ``cost`` is the item's full recompute cost (feeds ``cost_total``
+        like any other request); ``charged`` is the discounted spend the
+        disk read actually incurred (``l2_hit_cost_factor * cost``),
+        accumulated in ``cost_l2_served`` so :attr:`total_miss_cost`
+        prices the hierarchy's real recomputation + disk bill.  Cold
+        requests are excluded as usual (a first-ever request cannot be
+        L2-served in practice, but the rule stays uniform).
+        """
+        self.requests += 1
+        if key not in self._seen:
+            self._seen.add(key)
+            self.cold_requests += 1
+            return
+        self.l2_hits += 1
+        self.cost_l2_served += charged
+        self.cost_total += cost
+        self.bytes_total += size
+
     @property
     def counted_requests(self) -> int:
         """Requests that participate in the ratios (non-cold)."""
-        return self.hits + self.misses
+        return self.hits + self.misses + self.l2_hits
+
+    @property
+    def total_miss_cost(self) -> float:
+        """What serving the non-hits actually cost: full recompute for
+        true misses plus the discounted charge for disk-tier serves."""
+        return self.cost_missed + self.cost_l2_served
 
     @property
     def miss_rate(self) -> float:
@@ -72,8 +102,12 @@ class SimulationMetrics:
 
     @property
     def cost_miss_ratio(self) -> float:
-        """Σ cost of missed / Σ cost of all counted requests."""
-        return self.cost_missed / self.cost_total if self.cost_total else 0.0
+        """Σ cost actually spent (recompute + discounted disk serves) /
+        Σ cost of all counted requests.  Identical to the paper's ratio
+        when no disk tier is in play (``cost_l2_served`` stays 0)."""
+        if not self.cost_total:
+            return 0.0
+        return (self.cost_missed + self.cost_l2_served) / self.cost_total
 
     @property
     def byte_miss_ratio(self) -> float:
@@ -98,10 +132,12 @@ class SimulationMetrics:
             "cold_requests": self.cold_requests,
             "hits": self.hits,
             "misses": self.misses,
+            "l2_hits": self.l2_hits,
             "miss_rate": self.miss_rate,
             "cost_miss_ratio": self.cost_miss_ratio,
             "byte_miss_ratio": self.byte_miss_ratio,
             "cost_miss_rate": self.cost_miss_rate,
+            "total_miss_cost": self.total_miss_cost,
         }
 
 
@@ -237,12 +273,21 @@ class PerNamespaceMetrics:
         self._resident_bytes: Dict[str, int] = {}
 
     def record(self, key: str, size: int, cost: Number, hit: bool) -> None:
+        self._metrics_for(key).record(key, size, cost, hit)
+
+    def record_l2(self, key: str, size: int, cost: Number,
+                  charged: Number) -> None:
+        """Per-namespace face of ``SimulationMetrics.record_l2`` — each
+        application sees its own disk-tier serves and discounted spend."""
+        self._metrics_for(key).record_l2(key, size, cost, charged)
+
+    def _metrics_for(self, key: str) -> SimulationMetrics:
         namespace = self._namespace_of(key)
         metrics = self._per_namespace.get(namespace)
         if metrics is None:
             metrics = SimulationMetrics()
             self._per_namespace[namespace] = metrics
-        metrics.record(key, size, cost, hit)
+        return metrics
 
     # CacheListener interface -------------------------------------------------
     # Subscribe the recorder to a KVS (``kvs.add_listener(metrics)``) and it

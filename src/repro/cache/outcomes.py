@@ -30,11 +30,21 @@ class Outcome(enum.Enum):
     describe what happened to the insert-on-miss.  ``EXPIRED`` means the
     key *was* resident but its TTL had lapsed — the entry is reclaimed
     and the request counts as a miss.
+
+    Tiered (DRAM-over-disk) stores add two dispositions: ``HIT_L2`` —
+    the DRAM lookup missed, the disk tier served the pair, and it was
+    promoted back into DRAM (a hit, charged the tier's discounted
+    cost); ``MISS_PROMOTED`` — the disk tier served the pair but DRAM
+    *declined* the promotion (admission/size), so the entry stays
+    disk-resident.  Both are "served without recomputing"; only
+    ``HIT_L2`` counts as a hit.
     """
 
     HIT = "hit"
+    HIT_L2 = "hit_l2"
     MISS = "miss"
     MISS_INSERTED = "miss_inserted"
+    MISS_PROMOTED = "miss_promoted"
     MISS_REJECTED_TOO_LARGE = "miss_rejected_too_large"
     MISS_REJECTED_ADMISSION = "miss_rejected_admission"
     EXPIRED = "expired"
@@ -43,6 +53,18 @@ class Outcome(enum.Enum):
     def is_rejection(self) -> bool:
         return self in (Outcome.MISS_REJECTED_TOO_LARGE,
                         Outcome.MISS_REJECTED_ADMISSION)
+
+    @property
+    def is_hit(self) -> bool:
+        """Served from cache memory (either tier) without recomputation
+        *and* resident afterwards."""
+        return self in (Outcome.HIT, Outcome.HIT_L2)
+
+    @property
+    def served_from_cache(self) -> bool:
+        """The request never needed the loader — a DRAM hit, a disk hit
+        (promoted or not)."""
+        return self in (Outcome.HIT, Outcome.HIT_L2, Outcome.MISS_PROMOTED)
 
 
 @dataclass(slots=True)
@@ -68,11 +90,18 @@ class AccessResult:
 
     @property
     def hit(self) -> bool:
-        return self.outcome is Outcome.HIT
+        """HIT or HIT_L2 — served from cache and resident afterwards."""
+        return self.outcome.is_hit
 
     @property
     def miss(self) -> bool:
         return not self.hit
+
+    @property
+    def served(self) -> bool:
+        """No recomputation was needed — includes ``MISS_PROMOTED``
+        (disk-served but not re-admitted to DRAM)."""
+        return self.outcome.served_from_cache
 
     @property
     def rejected(self) -> bool:
@@ -98,7 +127,7 @@ class BatchResult:
 
     @property
     def hits(self) -> int:
-        return self.count(Outcome.HIT)
+        return sum(1 for outcome in self.outcomes if outcome.is_hit)
 
     @property
     def misses(self) -> int:

@@ -138,6 +138,11 @@ class Store:
         # optional backend capabilities, resolved once (not per request)
         self._backend_peek = getattr(backend, "peek", None)
         self._backend_value_of = getattr(backend, "value_of", None)
+        # tiered backends price a disk-tier serve at this fraction of the
+        # item's recompute cost (0.0 for single-tier backends, whose
+        # lookups never return HIT_L2 / MISS_PROMOTED)
+        self._backend_l2_factor = float(
+            getattr(backend, "l2_hit_cost_factor", 0.0) or 0.0)
         self._sizer = sizer
         self._lock = lock if lock is not None else _NO_LOCK
         self._values: Dict[str, object] = {}
@@ -164,10 +169,16 @@ class Store:
     # single-key requests
     # ------------------------------------------------------------------
     def get(self, key: str) -> AccessResult:
-        """Pure lookup: HIT (with the memoized value), MISS, or EXPIRED."""
+        """Pure lookup: HIT (with the memoized value), MISS, or EXPIRED.
+
+        On a tiered backend a disk-tier serve surfaces as ``HIT_L2``
+        (promoted into DRAM) or ``MISS_PROMOTED`` (still disk-resident);
+        both carry the payload when one was demoted with the item.
+        """
         with self._lock:
             outcome = self._backend.lookup(key)
-            if outcome is Outcome.HIT:
+            if (outcome is Outcome.HIT or outcome is Outcome.HIT_L2
+                    or outcome is Outcome.MISS_PROMOTED):
                 item = self._peek(key)
                 if item is not None:
                     return AccessResult(key, outcome, item.size, item.cost,
@@ -242,6 +253,11 @@ class Store:
                 if self.metrics is not None:
                     self.metrics.record(key, size, cost, True)
                 return AccessResult(key, outcome, size, cost, None, True)
+            if outcome is Outcome.HIT_L2 or outcome is Outcome.MISS_PROMOTED:
+                if self.metrics is not None:
+                    self.metrics.record_l2(key, size, cost,
+                                           self._backend_l2_factor * cost)
+                return AccessResult(key, outcome, size, cost, None, True)
             if self.metrics is not None:
                 self.metrics.record(key, size, cost, False)
             expired = outcome is Outcome.EXPIRED
@@ -277,6 +293,11 @@ class Store:
             if self.metrics is not None:
                 self.metrics.record(key, size, cost, True)
             return outcome
+        if outcome is Outcome.HIT_L2 or outcome is Outcome.MISS_PROMOTED:
+            if self.metrics is not None:
+                self.metrics.record_l2(key, size, cost,
+                                       self._backend_l2_factor * cost)
+            return outcome
         if self.metrics is not None:
             self.metrics.record(key, size, cost, False)
         return backend.insert(key, size, cost, ttl=ttl)
@@ -308,6 +329,10 @@ class Store:
             outcome = self._backend.lookup(key)
             if outcome is Outcome.HIT:
                 return self._hit_access(key, loader)
+            if outcome is Outcome.HIT_L2 or outcome is Outcome.MISS_PROMOTED:
+                result = self._l2_access(key, outcome, loader)
+                if result is not None:
+                    return result
         expired = outcome is Outcome.EXPIRED
         flight, leader = self._join_flight(key)
         if not leader:
@@ -317,8 +342,14 @@ class Store:
                 # re-probe under leadership: the previous leader may
                 # have inserted while this caller was joining
                 outcome = self._backend.lookup(key)
+                l2_result = None
+                if (outcome is Outcome.HIT_L2
+                        or outcome is Outcome.MISS_PROMOTED):
+                    l2_result = self._l2_access(key, outcome, loader)
                 if outcome is Outcome.HIT:
                     result = self._hit_access(key, loader)
+                elif l2_result is not None:
+                    result = l2_result
                 else:
                     expired = expired or outcome is Outcome.EXPIRED
                     started = time.perf_counter()
@@ -381,6 +412,28 @@ class Store:
         if value is not None:
             self._memoize(key, value)
         return self._hit_result(key, value)
+
+    def _l2_access(self, key: str, outcome: Outcome,
+                   loader: Optional[Loader]) -> Optional[AccessResult]:
+        """Build the result for a disk-tier-served lookup (caller holds
+        the store lock; metrics get the discounted L2 charge).
+
+        Returns None when the disk record carried no payload but a
+        ``loader`` expects one (metadata-only demotions from trace
+        traffic): the caller falls through to the ordinary miss path and
+        recomputes, keeping the "value is always usable" contract.
+        """
+        value = self._value_of(key)
+        if value is None and loader is not None:
+            return None
+        item = self._peek(key)
+        item_size = item.size if item is not None else 0
+        item_cost = item.cost if item is not None else 0.0
+        if self.metrics is not None:
+            self.metrics.record_l2(key, item_size, item_cost,
+                                   self._backend_l2_factor * item_cost)
+        return AccessResult(key, outcome, size=item_size, cost=item_cost,
+                            value=value, resident=True)
 
     def _hit_result(self, key: str, value: object) -> AccessResult:
         item = self._peek(key)
@@ -611,6 +664,7 @@ class StoreConfig:
         self._lock: Optional[object] = None
         self._persistence_config: Optional[object] = None
         self._recover = True
+        self._tiered_config: Optional[Dict[str, object]] = None
 
     def policy(self, policy: Union[str, EvictionPolicy],
                **kwargs: object) -> "StoreConfig":
@@ -690,6 +744,40 @@ class StoreConfig:
         self._recover = recover
         return self
 
+    def tiered(self, directory: str, disk_capacity: int,
+               demote_min_cost_per_byte: float = 0.0,
+               l2_hit_cost_factor: float = 0.1,
+               segment_bytes: int = 1 << 20,
+               demotion_filter: Optional[object] = None,
+               recover: bool = True) -> "StoreConfig":
+        """Stack the DRAM store over an on-disk victim tier (L2).
+
+        Capacity evictions from DRAM pass a demotion filter — by default
+        :class:`~repro.tiering.filter.CostDensityFilter` at
+        ``demote_min_cost_per_byte`` (0.0 demotes everything) — and are
+        appended to segment files under ``directory``, bounded by
+        ``disk_capacity`` logical bytes.  Misses probe the tier before
+        any loader; tier hits are promoted back and charged
+        ``l2_hit_cost_factor`` of their recompute cost (surfacing as
+        ``Outcome.HIT_L2`` / ``Outcome.MISS_PROMOTED``).  With
+        ``recover`` (the default) ``build()`` rebuilds the tier's index
+        from whatever healthy segment frames the directory holds.
+
+        Mutually exclusive with :meth:`persistence` — the tier is a
+        victim cache over the same DRAM state a snapshot would capture,
+        and the two would fight over recovery semantics.
+        """
+        self._tiered_config = {
+            "directory": directory,
+            "disk_capacity": disk_capacity,
+            "demote_min_cost_per_byte": demote_min_cost_per_byte,
+            "l2_hit_cost_factor": l2_hit_cost_factor,
+            "segment_bytes": segment_bytes,
+            "demotion_filter": demotion_filter,
+            "recover": recover,
+        }
+        return self
+
     def build(self) -> Store:
         if self._policy_instance is not None:
             policy = self._policy_instance
@@ -712,13 +800,46 @@ class StoreConfig:
                 policy = ThreadSafePolicy(policy)
         kvs = KVS(self._capacity, policy, admission=self._admission,
                   item_overhead=self._item_overhead, clock=self._clock)
+        backend = kvs
+        if self._tiered_config is not None:
+            if self._persistence_config is not None:
+                raise ConfigurationError(
+                    "tiered(...) and persistence(...) are mutually "
+                    "exclusive — the disk tier recovers its own segment "
+                    "files")
+            backend = self._build_tiered_backend(kvs)
+            if self._thread_safe and store_lock is None:
+                # demotion/promotion are multi-step (KVS + payload dict +
+                # file appends); per-policy-event locking cannot cover
+                # them, so the whole store serializes
+                store_lock = threading.RLock()
         for listener in self._listeners:
             kvs.add_listener(listener)
-        store = Store(kvs, metrics=self._metrics, sizer=self._sizer,
+        store = Store(backend, metrics=self._metrics, sizer=self._sizer,
                       lock=store_lock)
         if self._persistence_config is not None:
             self._wire_persistence(store, kvs)
         return store
+
+    def _build_tiered_backend(self, kvs: KVS):
+        """Construct the DiskTier + TieredBackend stack (lazy import —
+        ``repro.tiering`` depends on this module's siblings)."""
+        from repro.tiering.backend import TieredBackend
+        from repro.tiering.disk_tier import DiskTier
+        config = self._tiered_config
+        tier = DiskTier(config["directory"],
+                        capacity_bytes=config["disk_capacity"],
+                        segment_bytes=config["segment_bytes"],
+                        clock=self._clock,
+                        recover=config["recover"])
+        demotion_filter = config["demotion_filter"]
+        if demotion_filter is None:
+            from repro.tiering.filter import AlwaysDemote, CostDensityFilter
+            threshold = config["demote_min_cost_per_byte"]
+            demotion_filter = (CostDensityFilter(threshold) if threshold > 0
+                               else AlwaysDemote())
+        return TieredBackend(kvs, tier, demotion_filter=demotion_filter,
+                             l2_hit_cost_factor=config["l2_hit_cost_factor"])
 
     def build_async(self):
         """Build the same store wrapped for asyncio callers: an

@@ -93,6 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="serve on one asyncio event loop "
                                 "(pipelined) instead of a thread per "
                                 "connection")
+    serve_cmd.add_argument("--tier-dir", default=None,
+                           help="enable the on-disk victim tier: slab "
+                                "evictions demote to segment files under "
+                                "this directory, misses probe it and "
+                                "promote hits (recovered across restarts)")
+    serve_cmd.add_argument("--tier-mb", type=int, default=256,
+                           help="disk tier capacity in MiB "
+                                "(default 256; needs --tier-dir)")
+    serve_cmd.add_argument("--tier-min-cost-per-byte", type=float,
+                           default=0.0,
+                           help="demote only victims whose cost/size "
+                                "clears this density (0 = demote all)")
 
     analyze_cmd = sub.add_parser(
         "analyze", help="profile a trace (skew, sizes, costs, working set)")
@@ -288,7 +300,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.twemcache import (AsyncTwemcacheServer, TwemcacheEngine,
                                  TwemcacheServer)
-    engine = TwemcacheEngine(args.memory_mb << 20, eviction=args.eviction)
+    engine = TwemcacheEngine(
+        args.memory_mb << 20, eviction=args.eviction,
+        tier_dir=args.tier_dir,
+        tier_bytes=args.tier_mb << 20,
+        tier_min_cost_per_byte=args.tier_min_cost_per_byte)
     if args.use_async:
         server = AsyncTwemcacheServer(engine, port=args.port).start()
         flavor = f"{args.eviction}, asyncio pipelined"
@@ -296,7 +312,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = TwemcacheServer(engine, port=args.port).start()
         flavor = f"{args.eviction}, threaded"
     host, port = server.address
-    print(f"twemcache-like server ({flavor}) on {host}:{port}; "
+    tiered = ""
+    if args.tier_dir:
+        recovered = len(engine.tier)
+        tiered = (f" with a {args.tier_mb} MiB disk tier at "
+                  f"{args.tier_dir} ({recovered} records recovered)")
+    print(f"twemcache-like server ({flavor}) on {host}:{port}{tiered}; "
           f"Ctrl-C to stop")
     try:
         import time

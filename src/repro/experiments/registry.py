@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 from repro.experiments import ablations, fig4, fig5, fig6, fig7, fig8, fig9
 from repro.experiments import table1 as table1_module
 from repro.experiments import tenancy as tenancy_module
+from repro.experiments import tiered as tiered_module
 from repro.experiments import warm_restart as warm_restart_module
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment",
@@ -98,6 +99,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         _spec("warm-restart", "section 6 ext.",
               "Durable state: warm vs cold restart miss cost + throughput",
               warm_restart_module.run),
+        _spec("tiered", "section 6 ext.",
+              "Disk victim tier: miss cost, write efficiency, crash "
+              "recovery",
+              tiered_module.run),
     ]
 }
 

@@ -1,0 +1,285 @@
+"""Tiered store: what a disk victim tier is worth in miss cost.
+
+The paper's closing remark — a hierarchical cache "using SSD, hard disk,
+or both, which may persist costly data items" — made concrete with
+:mod:`repro.tiering`.  One skewed trace whose footprint dwarfs DRAM is
+served three ways at the *same* DRAM budget:
+
+* **memory-only** — the baseline: every DRAM miss recomputes at full
+  cost;
+* **tiered-all** — a :class:`~repro.tiering.DiskTier` under DRAM with an
+  ``AlwaysDemote`` policy: every CAMP victim is written to disk;
+* **tiered-filtered** — the same tier behind a
+  :class:`~repro.tiering.CostDensityFilter`: only victims whose
+  cost/size density clears a threshold earn a disk write.
+
+Serving a request from disk charges ``l2_hit_cost_factor * cost``
+(``Outcome.HIT_L2`` / ``Outcome.MISS_PROMOTED``), so the scoreboard is
+``SimulationMetrics.total_miss_cost`` — recompute cost plus discounted
+disk-service cost.  The second scoreboard is *write efficiency*: bytes
+written to the tier per unit of miss cost saved versus memory-only.
+Demote-everything buries the tier in low-density items (big, cheap to
+recompute) and pays for it in writes; the filter keeps most of the cost
+savings at a fraction of the write traffic — the same economics that
+motivate admission filters on real flash caches.
+
+The experiment ends with a crash drill: the filtered store's process
+"dies" (no close, no final flush beyond the per-append one), a fresh
+:class:`DiskTier` rebuilds its index from the segment files, and the
+recovered tier must actually serve reads.
+
+``benchmarks/test_tiered_store.py`` turns all three observations into
+gates: >=20% total-miss-cost reduction, strictly better write
+efficiency for the filter, and a usable recovered index.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import Table
+from repro.cache.store import StoreConfig
+from repro.errors import ConfigurationError
+from repro.experiments.data import get_scale
+from repro.sim.simulator import simulate
+from repro.tiering import DiskTier
+from repro.workloads import three_cost_trace
+from repro.workloads.trace import Trace
+
+__all__ = ["TieredConfig", "tiered_config", "tiered_trace",
+           "TieredRun", "TieredComparison", "run_tiered_comparison", "run"]
+
+#: DRAM holds this fraction of the trace's unique bytes — small enough
+#: that the skew tail never fits and the tier has real work to do
+DRAM_RATIO = 0.1
+#: the disk tier's budget as a fraction of unique bytes
+DISK_RATIO = 0.5
+#: a disk read costs this fraction of a recompute (paper section 6:
+#: SSD service is cheap relative to the backend, but not free)
+L2_HIT_COST_FACTOR = 0.1
+#: cost-per-byte admission bar for the filtered scheme: passes the
+#: cost-100 and cost-10000 classes of the three-cost trace, rejects the
+#: cost-1 class whose recompute is cheaper than its disk footprint
+DEMOTE_MIN_COST_PER_BYTE = 0.01
+
+SCHEMES = ("memory-only", "tiered-all", "tiered-filtered")
+
+
+@dataclass(frozen=True, slots=True)
+class TieredConfig:
+    """Trace sizing for one scale."""
+
+    keys: int
+    requests: int
+
+
+_CONFIGS: Dict[str, TieredConfig] = {
+    "tiny": TieredConfig(keys=400, requests=8_000),
+    "default": TieredConfig(keys=2_000, requests=50_000),
+    "full": TieredConfig(keys=8_000, requests=300_000),
+}
+
+
+def tiered_config(scale: str) -> TieredConfig:
+    get_scale(scale)  # validate the scale name with the shared error
+    try:
+        return _CONFIGS[scale]
+    except KeyError:  # pragma: no cover - scales and configs stay in sync
+        raise ConfigurationError(f"no tiered config for scale {scale!r}")
+
+
+def tiered_trace(scale: str, seed: int = 0) -> Trace:
+    """Skewed keys, large footprint: the paper's three-cost shape, with
+    the footprint guaranteed (by :data:`DRAM_RATIO`) to dwarf DRAM."""
+    config = tiered_config(scale)
+    return three_cost_trace(n_keys=config.keys, n_requests=config.requests,
+                            seed=seed + 1)
+
+
+@dataclass(slots=True)
+class TieredRun:
+    """One scheme's scoreboard."""
+
+    scheme: str
+    total_miss_cost: float
+    cost_total: float
+    hits: int
+    l2_hits: int
+    promoted_misses: int
+    demotions: int
+    filtered_drops: int
+    tier_bytes_written: int
+
+    @property
+    def cost_miss_ratio(self) -> float:
+        return (self.total_miss_cost / self.cost_total
+                if self.cost_total else 0.0)
+
+    def bytes_per_saved_cost(self, baseline_cost: float) -> float:
+        """Tier bytes written per unit of miss cost saved vs baseline
+        (infinite when a scheme wrote bytes but saved nothing)."""
+        saved = baseline_cost - self.total_miss_cost
+        if saved <= 0:
+            return float("inf") if self.tier_bytes_written else 0.0
+        return self.tier_bytes_written / saved
+
+
+@dataclass(slots=True)
+class TieredComparison:
+    """All schemes on one trace, plus the crash-recovery drill."""
+
+    workload: str
+    dram_capacity: int
+    disk_capacity: int
+    runs: Dict[str, TieredRun]
+    #: index entries the post-crash scan rebuilt
+    recovered_records: int
+    #: of ``recovery_probes`` keys sampled from the pre-crash index,
+    #: how many the recovered tier actually served
+    recovery_served: int
+    recovery_probes: int
+
+    def run_for(self, scheme: str) -> TieredRun:
+        return self.runs[scheme]
+
+    @property
+    def saving_vs_memory_only(self) -> float:
+        """Fractional total-miss-cost reduction of the filtered scheme."""
+        base = self.runs["memory-only"].total_miss_cost
+        if not base:
+            return 0.0
+        return 1.0 - self.runs["tiered-filtered"].total_miss_cost / base
+
+
+def _run_memory_only(trace: Trace, dram_capacity: int,
+                     policy: str) -> TieredRun:
+    store = StoreConfig(dram_capacity).policy(policy).build()
+    result = simulate(store, trace)
+    return TieredRun(
+        scheme="memory-only",
+        total_miss_cost=result.metrics.total_miss_cost,
+        cost_total=result.metrics.cost_total,
+        hits=result.metrics.hits,
+        l2_hits=0, promoted_misses=0,
+        demotions=0, filtered_drops=0, tier_bytes_written=0)
+
+
+def _run_tiered(trace: Trace, dram_capacity: int, disk_capacity: int,
+                policy: str, scheme: str, directory: str,
+                min_cost_per_byte: float) -> TieredRun:
+    store = (StoreConfig(dram_capacity).policy(policy)
+             .tiered(directory, disk_capacity,
+                     demote_min_cost_per_byte=min_cost_per_byte,
+                     l2_hit_cost_factor=L2_HIT_COST_FACTOR,
+                     recover=False)
+             .build())
+    backend = store.kvs          # the TieredBackend
+    result = simulate(store, trace)
+    outcomes = result.outcomes
+    run_result = TieredRun(
+        scheme=scheme,
+        total_miss_cost=result.metrics.total_miss_cost,
+        cost_total=result.metrics.cost_total,
+        hits=result.metrics.hits,
+        l2_hits=outcomes.get("hit_l2", 0),
+        promoted_misses=outcomes.get("miss_promoted", 0),
+        demotions=backend.demotions,
+        filtered_drops=backend.filtered_drops,
+        tier_bytes_written=int(backend.tier.stats()["tier_bytes_written"]))
+    return run_result
+
+
+def _crash_and_recover(directory: str, disk_capacity: int,
+                       probe_keys: List[str]) -> "tuple[int, int]":
+    """Abandon the tier mid-flight (crash), rescan, count what serves."""
+    recovered = DiskTier(directory, disk_capacity, recover=True)
+    try:
+        served = sum(1 for key in probe_keys
+                     if recovered.get(key) is not None)
+        return len(recovered), served
+    finally:
+        recovered.close()
+
+
+def run_tiered_comparison(trace: Trace, policy: str = "camp",
+                          dram_ratio: float = DRAM_RATIO,
+                          disk_ratio: float = DISK_RATIO,
+                          state_dir: Optional[str] = None
+                          ) -> TieredComparison:
+    """Serve ``trace`` under all three schemes at one DRAM budget, then
+    crash and recover the filtered tier (shared with the benchmark
+    guard)."""
+    if not 0 < dram_ratio < disk_ratio:
+        raise ConfigurationError(
+            f"need 0 < dram_ratio < disk_ratio, got {dram_ratio} "
+            f"and {disk_ratio}")
+    dram_capacity = trace.capacity_for_ratio(dram_ratio)
+    disk_capacity = trace.capacity_for_ratio(disk_ratio)
+
+    owns_dir = state_dir is None
+    root = state_dir or tempfile.mkdtemp(prefix="tiered-store-")
+    try:
+        runs = {"memory-only": _run_memory_only(trace, dram_capacity,
+                                                policy)}
+        runs["tiered-all"] = _run_tiered(
+            trace, dram_capacity, disk_capacity, policy, "tiered-all",
+            f"{root}/all", min_cost_per_byte=0.0)
+        filtered_dir = f"{root}/filtered"
+        runs["tiered-filtered"] = _run_tiered(
+            trace, dram_capacity, disk_capacity, policy, "tiered-filtered",
+            filtered_dir, min_cost_per_byte=DEMOTE_MIN_COST_PER_BYTE)
+
+        # crash drill: the filtered store's process is gone (no close);
+        # a fresh DiskTier must rebuild a usable index from its segments
+        inspector = DiskTier(filtered_dir, disk_capacity, recover=True)
+        probe_keys = list(inspector.keys())[:64]
+        inspector.close()
+        recovered_records, recovery_served = _crash_and_recover(
+            filtered_dir, disk_capacity, probe_keys)
+    finally:
+        if owns_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return TieredComparison(
+        workload=trace.name,
+        dram_capacity=dram_capacity, disk_capacity=disk_capacity,
+        runs=runs,
+        recovered_records=recovered_records,
+        recovery_served=recovery_served,
+        recovery_probes=len(probe_keys))
+
+
+def run(scale: str = "default") -> List[Table]:
+    """The registry entry point: miss cost, write efficiency, recovery."""
+    comparison = Table(
+        f"Tiered store — total miss cost by scheme (DRAM ratio "
+        f"{DRAM_RATIO}, disk ratio {DISK_RATIO}, L2 factor "
+        f"{L2_HIT_COST_FACTOR}, scale {scale})",
+        ["scheme", "total_miss_cost", "cost_miss_ratio", "vs_memory_only",
+         "l2_hits", "promoted_misses", "demotions", "filtered_drops",
+         "tier_bytes_written", "bytes_per_saved_cost"])
+    recovery = Table(
+        "Tiered store — crash recovery drill (filtered tier)",
+        ["recovered_records", "probes", "served", "usable"])
+    outcome = run_tiered_comparison(tiered_trace(scale))
+    base = outcome.runs["memory-only"].total_miss_cost
+    for scheme in SCHEMES:
+        run_result = outcome.runs[scheme]
+        per_saved = run_result.bytes_per_saved_cost(base)
+        comparison.add_row(
+            scheme, run_result.total_miss_cost,
+            run_result.cost_miss_ratio,
+            run_result.total_miss_cost / base if base else 1.0,
+            run_result.l2_hits, run_result.promoted_misses,
+            run_result.demotions, run_result.filtered_drops,
+            run_result.tier_bytes_written,
+            per_saved if per_saved != float("inf") else -1.0)
+    recovery.add_row(
+        outcome.recovered_records, outcome.recovery_probes,
+        outcome.recovery_served,
+        outcome.recovered_records > 0
+        and outcome.recovery_served == outcome.recovery_probes)
+    return [comparison, recovery]

@@ -97,7 +97,10 @@ def simulate(kvs: Union[KVS, Store],
     store.metrics = metrics
     # per-outcome counters, bound to locals: no dict probe per request
     hits = inserted = too_large = admission_rejected = 0
+    l2_hits = promoted_misses = 0
     HIT = Outcome.HIT
+    HIT_L2 = Outcome.HIT_L2
+    MISS_PROMOTED = Outcome.MISS_PROMOTED
     MISS_INSERTED = Outcome.MISS_INSERTED
     TOO_LARGE = Outcome.MISS_REJECTED_TOO_LARGE
     access = store.access_outcome
@@ -114,6 +117,10 @@ def simulate(kvs: Union[KVS, Store],
                     hits += 1
                 elif outcome is MISS_INSERTED:
                     inserted += 1
+                elif outcome is HIT_L2:
+                    l2_hits += 1
+                elif outcome is MISS_PROMOTED:
+                    promoted_misses += 1
                 elif outcome is TOO_LARGE:
                     too_large += 1
                 else:
@@ -128,6 +135,10 @@ def simulate(kvs: Union[KVS, Store],
                     hits += 1
                 elif outcome is MISS_INSERTED:
                     inserted += 1
+                elif outcome is HIT_L2:
+                    l2_hits += 1
+                elif outcome is MISS_PROMOTED:
+                    promoted_misses += 1
                 elif outcome is TOO_LARGE:
                     too_large += 1
                 else:
@@ -137,6 +148,8 @@ def simulate(kvs: Union[KVS, Store],
     elapsed = time.perf_counter() - started
     outcome_counts = {}
     for outcome, count in ((HIT, hits), (MISS_INSERTED, inserted),
+                           (HIT_L2, l2_hits),
+                           (MISS_PROMOTED, promoted_misses),
                            (TOO_LARGE, too_large),
                            (Outcome.MISS_REJECTED_ADMISSION,
                             admission_rejected)):

@@ -1,0 +1,91 @@
+"""Demotion filters — who deserves the victim tier.
+
+TierBase's observation (PAPERS.md): in a DRAM-over-flash hierarchy the
+lower tier's scarce resources are *write bandwidth* and *endurance*, so
+an eviction should only be demoted when keeping it is worth more than
+recomputing it.  CAMP already prices every item — ``cost / size`` is the
+eviction heuristic — and the same density is the natural demotion
+criterion: a cheap-to-recompute page is dropped on eviction (a future
+miss just recomputes it), an expensive one is worth a disk write.
+
+The filter sees the victim at the moment L1 evicts it and answers one
+question: *write this to disk, or let it go?*
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Union, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DemotionFilter", "CostDensityFilter", "AlwaysDemote",
+           "NeverDemote"]
+
+Number = Union[int, float]
+
+
+@runtime_checkable
+class DemotionFilter(Protocol):
+    """Decides whether an L1 eviction victim is written to the disk tier."""
+
+    def should_demote(self, key: str, size: int, cost: Number) -> bool:
+        """True to demote (write to L2), False to drop the victim."""
+        ...
+
+
+class CostDensityFilter:
+    """Demote only items whose miss cost per byte clears a threshold.
+
+    ``min_cost_per_byte`` is in the same units as the trace's costs:
+    an item passes when ``cost / size >= min_cost_per_byte``.  Optional
+    ``min_size`` / ``max_size`` bound the demoted sizes — tiny items
+    waste index entries per byte saved, huge ones monopolize segments.
+    """
+
+    def __init__(self, min_cost_per_byte: float,
+                 min_size: int = 0,
+                 max_size: int = 0) -> None:
+        if min_cost_per_byte < 0:
+            raise ConfigurationError(
+                f"min_cost_per_byte must be >= 0, got {min_cost_per_byte}")
+        if max_size and max_size < min_size:
+            raise ConfigurationError(
+                f"max_size {max_size} < min_size {min_size}")
+        self._min_density = min_cost_per_byte
+        self._min_size = min_size
+        self._max_size = max_size
+
+    def should_demote(self, key: str, size: int, cost: Number) -> bool:
+        if size <= 0:
+            return False
+        if size < self._min_size:
+            return False
+        if self._max_size and size > self._max_size:
+            return False
+        return cost / size >= self._min_density
+
+    def __repr__(self) -> str:
+        return (f"CostDensityFilter(min_cost_per_byte={self._min_density}, "
+                f"min_size={self._min_size}, max_size={self._max_size})")
+
+
+class AlwaysDemote:
+    """Demote every victim — the baseline the filtered policy must beat
+    on bytes written per unit of miss cost saved."""
+
+    def should_demote(self, key: str, size: int, cost: Number) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "AlwaysDemote()"
+
+
+class NeverDemote:
+    """Demote nothing — turns the tier into a promote-only read path
+    (useful for isolating promotion behaviour in tests)."""
+
+    def should_demote(self, key: str, size: int, cost: Number) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NeverDemote()"
