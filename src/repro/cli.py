@@ -16,6 +16,10 @@ Subcommands:
   a fresh snapshot generation)
 * ``bench``       — run a named benchmark (``hotpath`` or an experiment
   id), optionally under cProfile (``--profile [out.prof]``)
+* ``cluster``     — the live multi-process tier: ``serve`` (spawn and
+  supervise N CAMP server processes), ``bench`` (the
+  cluster-serving scaling/kill/rejoin tables), ``kill-node`` (SIGKILL
+  one member of a running cluster by manifest — failover drill)
 """
 
 from __future__ import annotations
@@ -166,6 +170,41 @@ def build_parser() -> argparse.ArgumentParser:
                                 "OUT.prof when a path is given")
     bench_cmd.add_argument("--top", type=int, default=25,
                            help="profile rows to print (default 25)")
+
+    cluster_cmd = sub.add_parser(
+        "cluster",
+        help="live multi-process CAMP tier: serve / bench / kill-node")
+    cluster_sub = cluster_cmd.add_subparsers(dest="cluster_command",
+                                             required=True)
+    c_serve = cluster_sub.add_parser(
+        "serve", help="spawn and supervise N CAMP server processes")
+    c_serve.add_argument("--nodes", type=int, default=3,
+                         help="server processes to spawn (default 3)")
+    c_serve.add_argument("--memory-mb", type=int, default=64,
+                         help="per-node memory budget in MiB")
+    c_serve.add_argument("--eviction", default="camp",
+                         choices=("lru", "camp"))
+    c_serve.add_argument("--host", default="127.0.0.1")
+    c_serve.add_argument("--state-dir", default=None,
+                         help="snapshot/manifest directory (default: a "
+                              "temp dir, removed on exit); pass one to "
+                              "keep warm-rejoin state and to let "
+                              "kill-node find the fleet")
+    c_bench = cluster_sub.add_parser(
+        "bench",
+        help="run the cluster-serving benchmark (scaling, kill drill, "
+             "warm rejoin)")
+    c_bench.add_argument("--scale", default="default",
+                         choices=("tiny", "default", "full"))
+    c_bench.add_argument("--csv", action="store_true",
+                         help="emit CSV instead of aligned tables")
+    c_kill = cluster_sub.add_parser(
+        "kill-node",
+        help="SIGKILL one member of a running cluster (failover drill)")
+    c_kill.add_argument("state_dir",
+                        help="the cluster's --state-dir (holds "
+                             "cluster.json)")
+    c_kill.add_argument("name", help="node name from the manifest")
 
     compare_cmd = sub.add_parser(
         "compare", help="run several policies over one trace, side by side")
@@ -504,6 +543,84 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.cluster_command == "serve":
+        return _cluster_serve(args)
+    if args.cluster_command == "bench":
+        return _cluster_bench(args)
+    return _cluster_kill_node(args)
+
+
+def _cluster_serve(args: argparse.Namespace) -> int:
+    import time
+    from repro.cluster import ClusterSupervisor
+    supervisor = ClusterSupervisor(
+        [f"n{i}" for i in range(args.nodes)],
+        memory_bytes=args.memory_mb << 20, eviction=args.eviction,
+        host=args.host, state_dir=args.state_dir)
+    supervisor.start()
+    print(f"cluster of {args.nodes} {args.eviction} nodes "
+          f"(manifest: {supervisor.state_dir / 'cluster.json'}); "
+          f"Ctrl-C to stop")
+    for name, (host, port) in sorted(supervisor.addresses().items()):
+        warm = supervisor.recovered_items(name)
+        suffix = f" ({warm} items recovered)" if warm else ""
+        print(f"  {name}: {host}:{port}{suffix}")
+    try:
+        while True:
+            time.sleep(1)
+            for name in supervisor.names:
+                if not supervisor.is_running(name):
+                    print(f"node {name} died; restarting")
+                    recovered = supervisor.restart(name)
+                    print(f"  {name} back up "
+                          f"({recovered} items recovered)")
+    except KeyboardInterrupt:
+        supervisor.stop()
+        print("stopped")
+    return 0
+
+
+def _cluster_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+    for table in run_experiment("cluster-serving", scale=args.scale):
+        if args.csv:
+            print(f"# {table.title}")
+            print(table.to_csv())
+        else:
+            print(table.to_ascii())
+    return 0
+
+
+def _cluster_kill_node(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import pathlib
+    import signal
+    from repro.errors import ClusterError
+    manifest_path = pathlib.Path(args.state_dir) / "cluster.json"
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except OSError as exc:
+        raise ClusterError(f"cannot read {manifest_path}: {exc}") from exc
+    entry = manifest.get(args.name)
+    if entry is None:
+        raise ClusterError(
+            f"no node {args.name!r} in {manifest_path} "
+            f"(members: {sorted(manifest)})")
+    pid = entry.get("pid")
+    if not pid:
+        raise ClusterError(f"node {args.name!r} has no recorded pid")
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        print(f"node {args.name} (pid {pid}) already gone")
+        return 0
+    print(f"killed node {args.name} (pid {pid}) at "
+          f"{entry['host']}:{entry['port']}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import Table
     from repro.sim import sweep_cache_sizes
@@ -548,6 +665,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_persist(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
         if args.command == "compare":
             return _cmd_compare(args)
     except ReproError as exc:

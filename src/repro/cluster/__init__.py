@@ -1,8 +1,20 @@
-"""Cooperative CAMP caching over a consistent-hash ring (section 6)."""
+"""Cooperative CAMP caching over a consistent-hash ring (section 6).
+
+Two faces share the same :class:`HashRing` placement:
+
+* the offline simulator (:class:`CacheNode`/:class:`CooperativeCluster`)
+  for policy studies, and
+* the live tier — :class:`ClusterClient` routing over N
+  server subprocesses owned by :class:`ClusterSupervisor`, with replica
+  reads, read-repair, failover, and warm node rejoin.
+"""
 
 from __future__ import annotations
 
+from repro.cluster.client import ClusterClient
 from repro.cluster.cluster import CacheNode, CooperativeCluster
 from repro.cluster.hashring import HashRing
+from repro.cluster.supervisor import ClusterSupervisor
 
-__all__ = ["HashRing", "CacheNode", "CooperativeCluster"]
+__all__ = ["HashRing", "CacheNode", "CooperativeCluster", "ClusterClient",
+           "ClusterSupervisor"]

@@ -1,0 +1,361 @@
+"""``ClusterClient`` — consistent-hash routing over live CAMP servers.
+
+This is :class:`~repro.cluster.cluster.CooperativeCluster`'s request
+path rebuilt over real sockets: keys place on the same
+:class:`~repro.cluster.hashring.HashRing`, every write goes to the
+ring's preference list (``replicas`` distinct holders), and a read that
+misses its primary falls through to the next replica holder, then
+*read-repairs* the pair back toward the primary — the KOSAR-style
+cooperative semantics of the paper's section 6, served by N
+:class:`~repro.twemcache.async_server.AsyncTwemcacheServer` processes.
+
+Routing and failure handling:
+
+* ``get_many``/``set_many`` shard their batch per node and pipeline
+  each shard through that node's
+  :class:`~repro.twemcache.async_client.AsyncSocketClient` pool, so a
+  B-key batch over N nodes costs ~one round trip per node, not B.
+* A node that errors (dial failure, mid-pipeline death, timeout) is
+  marked down with exponential backoff; requests route to the next
+  replica holder in the meantime and the pool's idle sockets are
+  dropped so the eventual probe re-dials fresh.  Replica reads use the
+  cost-aware ``gets`` verb, so read-repair re-replicates with the real
+  CAMP cost instead of flattening it to 0.
+* ``add_node``/``remove_node`` rewire the ring at runtime; consistent
+  hashing bounds the keys whose placement changes to ~1/N.
+
+The client is deliberately *stateless about data*: every routing
+decision derives from the ring, so any number of ``ClusterClient``
+instances (one per application process) agree on placement without
+coordination.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
+
+from repro.cluster.hashring import HashRing
+from repro.errors import ConfigurationError, ProtocolError
+from repro.twemcache.async_client import AsyncSocketClient
+from repro.twemcache.client import _Value
+
+__all__ = ["ClusterClient"]
+
+Number = Union[int, float]
+
+#: errors that mean "this node is unhealthy", not "this request is bad"
+_NODE_ERRORS = (OSError, ProtocolError, asyncio.TimeoutError)
+
+
+class _NodeState:
+    """Health bookkeeping for one server: backoff-gated down marker."""
+
+    __slots__ = ("client", "host", "port", "failures", "down_until")
+
+    def __init__(self, client: AsyncSocketClient, host: str,
+                 port: int) -> None:
+        self.client = client
+        self.host = host
+        self.port = port
+        self.failures = 0
+        self.down_until = 0.0
+
+
+class ClusterClient:
+    """Route keys across N live twemcache servers over a hash ring."""
+
+    def __init__(self, nodes: Dict[str, Tuple[str, int]],
+                 replicas: int = 2, pool_size: int = 2,
+                 timeout: float = 10.0, vnodes: int = 64,
+                 backoff_base: float = 0.1, backoff_max: float = 5.0,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        """``nodes`` maps node name -> (host, port).  ``clock`` feeds the
+        failover backoff and is injectable for deterministic tests."""
+        if not nodes:
+            raise ConfigurationError("at least one node is required")
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        self._replicas = replicas
+        self._pool_size = pool_size
+        self._timeout = timeout
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._clock = clock if clock is not None else time.monotonic
+        self._ring = HashRing(vnodes=vnodes)
+        self._states: Dict[str, _NodeState] = {}
+        for name, (host, port) in nodes.items():
+            self._ring.add_node(name)
+            self._states[name] = self._make_state(host, port)
+        self.counters: Dict[str, int] = {
+            "primary_hits": 0, "replica_hits": 0, "read_repairs": 0,
+            "misses": 0, "node_failures": 0, "failovers": 0,
+        }
+
+    def _make_state(self, host: str, port: int) -> _NodeState:
+        client = AsyncSocketClient((host, port), pool_size=self._pool_size,
+                                   timeout=self._timeout)
+        return _NodeState(client, host, port)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    @property
+    def node_names(self) -> List[str]:
+        return self._ring.nodes
+
+    def add_node(self, name: str, host: str, port: int) -> None:
+        """Join a node: ~1/N of keys re-home onto it (consistent hash)."""
+        self._ring.add_node(name)
+        self._states[name] = self._make_state(host, port)
+
+    async def remove_node(self, name: str) -> None:
+        """Drop a node from the ring and close its pool."""
+        self._ring.remove_node(name)
+        state = self._states.pop(name)
+        await state.client.close()
+
+    def holders(self, key: str) -> List[str]:
+        """The key's preference list (primary first)."""
+        return self._ring.preference_list(key, self._replicas)
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def _usable(self, name: str) -> bool:
+        state = self._states.get(name)
+        if state is None:
+            return False
+        # past down_until the node becomes eligible again: the next
+        # request is the probe that either revives it or re-arms backoff
+        return state.down_until <= self._clock()
+
+    def _mark_down(self, name: str) -> None:
+        state = self._states.get(name)
+        if state is None:
+            return
+        state.failures += 1
+        delay = min(self._backoff_base * (2 ** (state.failures - 1)),
+                    self._backoff_max)
+        state.down_until = self._clock() + delay
+        self.counters["node_failures"] += 1
+        # stale sockets to the dead process would fail one by one on
+        # reuse; drop them so the probe after backoff re-dials fresh
+        state.client.reset()
+
+    def _mark_up(self, name: str) -> None:
+        state = self._states.get(name)
+        if state is not None and state.failures:
+            state.failures = 0
+            state.down_until = 0.0
+
+    def down_nodes(self) -> List[str]:
+        """Nodes currently inside their backoff window (for observability)."""
+        now = self._clock()
+        return [name for name, state in self._states.items()
+                if state.down_until > now]
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    async def get(self, key: str) -> Optional[_Value]:
+        found = await self.get_many([key])
+        return found.get(key)
+
+    async def get_many(self, keys: Sequence[str]) -> Dict[str, _Value]:
+        """Fetch a batch across the cluster; misses are simply absent.
+
+        Each round shards the still-pending keys by their current
+        preference-list position, pipelines one ``gets`` batch per node,
+        and advances failed/missed keys to the next replica holder.  A
+        key only becomes a miss once every holder either missed or is
+        down — a dead node never surfaces as a client error.  Replica
+        hits are read-repaired toward their primary (fire-and-forget
+        semantics but awaited here, so tests observe the repair).
+        """
+        if not keys:
+            return {}
+        found: Dict[str, _Value] = {}
+        # key -> index into its preference list for the next attempt
+        pending: Dict[str, int] = {key: 0 for key in dict.fromkeys(keys)}
+        prefs = {key: self.holders(key) for key in pending}
+        repairs: List[Tuple[str, _Value]] = []   # replica hits to re-home
+        while pending:
+            shards: Dict[str, List[str]] = {}
+            for key, idx in list(pending.items()):
+                # skip past holders that are marked down right now
+                holders = prefs[key]
+                while idx < len(holders) and not self._usable(holders[idx]):
+                    idx += 1
+                    self.counters["failovers"] += 1
+                if idx >= len(holders):
+                    del pending[key]
+                    self.counters["misses"] += 1
+                    continue
+                pending[key] = idx
+                shards.setdefault(holders[idx], []).append(key)
+            if not shards:
+                break
+            names = list(shards)
+            results = await asyncio.gather(
+                *(self._states[name].client.get_many(shards[name],
+                                                     with_cost=True)
+                  for name in names),
+                return_exceptions=True)
+            for name, result in zip(names, results):
+                if isinstance(result, BaseException):
+                    if not isinstance(result, _NODE_ERRORS):
+                        raise result
+                    self._mark_down(name)
+                    for key in shards[name]:   # retry on the next holder
+                        pending[key] += 1
+                    continue
+                self._mark_up(name)
+                for key in shards[name]:
+                    value = result.get(key)
+                    if value is None:
+                        pending[key] += 1   # miss here; try next holder
+                        continue
+                    found[key] = value
+                    if pending[key] == 0:
+                        self.counters["primary_hits"] += 1
+                    else:
+                        self.counters["replica_hits"] += 1
+                        repairs.append((key, value))
+                    del pending[key]
+        if repairs:
+            await self._read_repair(prefs, repairs)
+        return found
+
+    async def _read_repair(self, prefs: Dict[str, List[str]],
+                           repairs: List[Tuple[str, _Value]]) -> None:
+        """Re-replicate replica hits onto their (usable) primaries."""
+        shards: Dict[str, List[Tuple[str, bytes, int, float, Number]]] = {}
+        for key, value in repairs:
+            primary = prefs[key][0]
+            if not self._usable(primary):
+                continue   # still down; a later read will repair it
+            shards.setdefault(primary, []).append(
+                (key, value.value, value.flags, 0, value.cost))
+        if not shards:
+            return
+        names = list(shards)
+        results = await asyncio.gather(
+            *(self._states[name].client.set_many(shards[name])
+              for name in names),
+            return_exceptions=True)
+        for name, result in zip(names, results):
+            if isinstance(result, BaseException):
+                if not isinstance(result, _NODE_ERRORS):
+                    raise result
+                self._mark_down(name)   # repair is best-effort
+                continue
+            self._mark_up(name)
+            self.counters["read_repairs"] += sum(result)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    async def set(self, key: str, value: bytes, flags: int = 0,
+                  expire_after: float = 0, cost: Number = 0) -> bool:
+        results = await self.set_many(
+            [(key, value, flags, expire_after, cost)])
+        return results[0]
+
+    async def set_many(self,
+                       entries: Iterable[Tuple[str, bytes, int, float,
+                                               Number]]) -> List[bool]:
+        """Store a batch: each entry goes to *every* usable holder on its
+        preference list, sharded and pipelined per node.  An entry
+        reports True when at least one holder stored it; a down node
+        costs durability width, never a client-visible error.
+        """
+        rows = [AsyncSocketClient._normalize_entry(e) for e in entries]
+        if not rows:
+            return []
+        results = [False] * len(rows)
+        shards: Dict[str, List[int]] = {}   # node -> row indexes
+        for i, row in enumerate(rows):
+            for name in self.holders(row[0]):
+                if self._usable(name):
+                    shards.setdefault(name, []).append(i)
+        names = list(shards)
+        replies = await asyncio.gather(
+            *(self._states[name].client.set_many(
+                [rows[i] for i in shards[name]])
+              for name in names),
+            return_exceptions=True)
+        for name, reply in zip(names, replies):
+            if isinstance(reply, BaseException):
+                if not isinstance(reply, _NODE_ERRORS):
+                    raise reply
+                self._mark_down(name)
+                continue
+            self._mark_up(name)
+            for i, stored in zip(shards[name], reply):
+                results[i] = results[i] or stored
+        return results
+
+    async def delete(self, key: str) -> bool:
+        """Remove a key from every usable holder; True if any held it."""
+        deleted = False
+        for name in self.holders(key):
+            if not self._usable(name):
+                continue
+            try:
+                deleted = (await self._states[name].client.delete(key)
+                           or deleted)
+                self._mark_up(name)
+            except _NODE_ERRORS:
+                self._mark_down(name)
+        return deleted
+
+    # ------------------------------------------------------------------
+    # admin
+    # ------------------------------------------------------------------
+    async def save_all(self) -> Dict[str, bool]:
+        """Ask every usable node to snapshot (warm-rejoin material)."""
+        out: Dict[str, bool] = {}
+        for name in self.node_names:
+            if not self._usable(name):
+                out[name] = False
+                continue
+            try:
+                out[name] = await self._states[name].client.save()
+                self._mark_up(name)
+            except _NODE_ERRORS:
+                self._mark_down(name)
+                out[name] = False
+        return out
+
+    async def stats_all(self) -> Dict[str, Dict[str, Number]]:
+        """Per-node server stats for every node that answers."""
+        out: Dict[str, Dict[str, Number]] = {}
+        for name in self.node_names:
+            if not self._usable(name):
+                continue
+            try:
+                out[name] = await self._states[name].client.stats()
+                self._mark_up(name)
+            except _NODE_ERRORS:
+                self._mark_down(name)
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        for state in self._states.values():
+            await state.client.close()
+
+    async def __aenter__(self) -> "ClusterClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -18,9 +18,10 @@ Design reproduced here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.cache.kvs import KVS
+from repro.cache.outcomes import Outcome
 from repro.cluster.hashring import HashRing
 from repro.core.camp import CampPolicy
 from repro.core.policy import CacheItem, EvictionPolicy
@@ -42,8 +43,10 @@ class _LastReplicaPolicy(EvictionPolicy):
         self._node_name = node_name
         self._cluster = cluster
         self._spared: Set[str] = set()
-        # CAMP forgets size/cost once evicted; keep a copy for re-admits
-        self._pending_meta: Dict[str, tuple] = {}
+        # CAMP forgets size/cost once a victim is popped; mirror every
+        # resident pair's (size, cost) here so a reprieved last replica is
+        # re-admitted with its *real* metadata, not a placeholder.
+        self._meta: Dict[str, Tuple[int, Number]] = {}
         self.reprieves = 0
 
     # delegation ----------------------------------------------------------
@@ -53,10 +56,12 @@ class _LastReplicaPolicy(EvictionPolicy):
 
     def on_insert(self, key: str, size: int, cost: Number) -> None:
         self._camp.on_insert(key, size, cost)
+        self._meta[key] = (size, cost)
 
     def on_remove(self, key: str) -> None:
         self._camp.on_remove(key)
         self._spared.discard(key)
+        self._meta.pop(key, None)
 
     def __contains__(self, key: str) -> bool:
         return key in self._camp
@@ -78,19 +83,20 @@ class _LastReplicaPolicy(EvictionPolicy):
                 # grace: re-admit at the tail of its queue, try the next one
                 self._spared.add(victim)
                 self.reprieves += 1
-                entry_item = self._victim_item(victim)
-                self._camp.on_insert(victim, entry_item[0], entry_item[1])
-                self._pending_meta.pop(victim, None)
+                size, cost = self._victim_item(victim)
+                self._camp.on_insert(victim, size, cost)
                 continue
             self._spared.discard(victim)
+            self._meta.pop(victim, None)
             return victim
         raise ClusterError("could not choose a victim")  # pragma: no cover
 
-    def note_meta(self, key: str, size: int, cost: Number) -> None:
-        self._pending_meta[key] = (size, cost)
-
-    def _victim_item(self, key: str) -> tuple:
-        return self._pending_meta.get(key, (1, 0))
+    def _victim_item(self, key: str) -> Tuple[int, Number]:
+        try:
+            return self._meta[key]
+        except KeyError:  # pragma: no cover - on_insert always records
+            raise ClusterError(
+                f"no recorded size/cost for victim {key!r}") from None
 
 
 class CacheNode:
@@ -102,12 +108,11 @@ class CacheNode:
         self.policy = _LastReplicaPolicy(name, cluster, precision=precision)
         self.kvs = KVS(capacity, self.policy)
 
-    def get(self, key: str) -> bool:
-        return self.kvs.get(key)
+    def lookup(self, key: str) -> Outcome:
+        return self.kvs.lookup(key)
 
-    def put(self, key: str, size: int, cost: Number) -> bool:
-        self.policy.note_meta(key, size, cost)
-        return self.kvs.put(key, size, cost)
+    def insert(self, key: str, size: int, cost: Number) -> Outcome:
+        return self.kvs.insert(key, size, cost)
 
     def __contains__(self, key: str) -> bool:
         return key in self.kvs
@@ -165,18 +170,18 @@ class CooperativeCluster:
         """
         holders = self._ring.preference_list(key, self._replicas)
         primary = self._nodes[holders[0]]
-        if primary.get(key):
+        if primary.lookup(key) is Outcome.HIT:
             self.local_hits += 1
             return "local"
         for other_name in holders[1:]:
             other = self._nodes[other_name]
-            if other.get(key):
+            if other.lookup(key) is Outcome.HIT:
                 self.remote_hits += 1
-                primary.put(key, size, cost)   # re-replicate toward primary
+                primary.insert(key, size, cost)  # re-replicate toward primary
                 return "remote"
         self.misses += 1
         for name in holders:
-            self._nodes[name].put(key, size, cost)
+            self._nodes[name].insert(key, size, cost)
         return "miss"
 
     def resident_nodes(self, key: str) -> List[str]:

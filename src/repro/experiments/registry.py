@@ -13,6 +13,7 @@ from typing import Callable, Dict, List
 from repro.analysis import Table
 from repro.errors import ConfigurationError
 from repro.experiments import ablations, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments import cluster_serving as cluster_serving_module
 from repro.experiments import table1 as table1_module
 from repro.experiments import tenancy as tenancy_module
 from repro.experiments import tiered as tiered_module
@@ -103,6 +104,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
               "Disk victim tier: miss cost, write efficiency, crash "
               "recovery",
               tiered_module.run),
+        _spec("cluster-serving", "section 6 ext.",
+              "Live cluster tier: 1->3 process scaling, kill-one-node "
+              "drill, warm rejoin",
+              cluster_serving_module.run),
     ]
 }
 

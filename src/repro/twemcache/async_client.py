@@ -62,12 +62,12 @@ class _Connection:
             if line == b"END":
                 return
             if line.startswith(b"VALUE "):
-                key, flags, nbytes = parse_value_header(line)
+                key, flags, nbytes, cost = parse_value_header(line)
                 data = await self.read_exact(nbytes)
                 trailer = await self.read_exact(2)
                 if trailer != CRLF:
                     raise ProtocolError("missing CRLF after data block")
-                out[key] = _Value(data, flags)
+                out[key] = _Value(data, flags, cost)
             elif line.startswith(b"CLIENT_ERROR"):
                 raise ProtocolError(line.decode())
             else:
@@ -165,16 +165,22 @@ class AsyncSocketClient:
                 return found[key]
         return None
 
-    async def get_map(self, keys: Sequence[str]) -> Dict[str, _Value]:
+    async def get_map(self, keys: Sequence[str],
+                      with_cost: bool = False) -> Dict[str, _Value]:
         """Multi-key get on one pooled connection (commands chunked to
-        stay under the server's line bound, pipelined)."""
+        stay under the server's line bound, pipelined).
+
+        ``with_cost=True`` issues ``gets`` so each returned ``_Value``
+        carries the item's CAMP cost — the cluster tier needs it to
+        read-repair without flattening costs to 0."""
         chunks = chunk_get_keys(list(keys))
         if not chunks:
             return {}
+        verb = "gets " if with_cost else "get "
         conn = await self._acquire()
         try:
             conn.writer.write(b"".join(
-                ("get " + " ".join(chunk)).encode() + CRLF
+                (verb + " ".join(chunk)).encode() + CRLF
                 for chunk in chunks))
             await conn.writer.drain()
             out: Dict[str, _Value] = {}
@@ -218,24 +224,27 @@ class AsyncSocketClient:
     # pipelined batches
     # ------------------------------------------------------------------
     async def get_many(self, keys: Sequence[str],
-                       keys_per_command: int = 1) -> Dict[str, _Value]:
+                       keys_per_command: int = 1,
+                       with_cost: bool = False) -> Dict[str, _Value]:
         """Pipelined fetch of many keys across the pool.
 
         Keys are sharded over the pool's connections; each connection
         receives *all* its get commands in one write, then replies are
         parsed in order.  ``keys_per_command`` > 1 additionally packs
-        several keys into each multi-get command line.
+        several keys into each multi-get command line; ``with_cost``
+        switches to the ``gets`` verb (values carry their CAMP cost).
         """
         if not keys:
             return {}
         conns = await self._checked_out(len(keys))
         shards = [list(keys[i::len(conns)]) for i in range(len(conns))]
+        verb = "gets " if with_cost else "get "
 
         async def run(conn: _Connection, shard: List[str]
                       ) -> Dict[str, _Value]:
             chunks = chunk_get_keys(shard, max_keys=keys_per_command)
             payload = b"".join(
-                ("get " + " ".join(chunk)).encode() + CRLF
+                (verb + " ".join(chunk)).encode() + CRLF
                 for chunk in chunks)
             conn.writer.write(payload)
             await conn.writer.drain()
@@ -355,6 +364,21 @@ class AsyncSocketClient:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop idle connections so the next operation re-dials.
+
+        The cluster tier calls this when it marks a node down: sockets
+        to the dead process would otherwise linger in the pool and fail
+        one by one on reuse after the node is bounced.  Connections
+        currently checked out are untouched — their own error paths
+        already discard them as broken.
+        """
+        for conn in self._idle:
+            conn.close()
+            if conn in self._all:
+                self._all.remove(conn)
+        self._idle.clear()
+
     async def close(self) -> None:
         self._closed = True
         for conn in self._all:

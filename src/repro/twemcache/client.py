@@ -30,13 +30,18 @@ Number = Union[int, float]
 
 
 class _Value:
-    """Minimal item facade so clients and the engine share a .value shape."""
+    """Minimal item facade so clients and the engine share a .value shape.
 
-    __slots__ = ("value", "flags")
+    ``cost`` is only populated by cost-aware reads (the ``gets`` verb);
+    plain ``get`` replies leave it 0.
+    """
 
-    def __init__(self, value: bytes, flags: int) -> None:
+    __slots__ = ("value", "flags", "cost")
+
+    def __init__(self, value: bytes, flags: int, cost: Number = 0) -> None:
         self.value = value
         self.flags = flags
+        self.cost = cost
 
 
 class SocketClient:
@@ -111,12 +116,12 @@ class SocketClient:
             if line == b"END":
                 return
             if line.startswith(b"VALUE "):
-                got_key, flags, nbytes = parse_value_header(line)
+                got_key, flags, nbytes, cost = parse_value_header(line)
                 data = self._read_exact(nbytes)
                 trailer = self._read_exact(2)
                 if trailer != CRLF:
                     raise ProtocolError("missing CRLF after data block")
-                found[got_key] = _Value(data, flags)
+                found[got_key] = _Value(data, flags, cost)
             elif line.startswith(b"CLIENT_ERROR"):
                 raise ProtocolError(line.decode())
             else:
@@ -207,9 +212,9 @@ class LoopbackClient:
         if data.startswith(b"END"):
             return None
         header_end = data.index(CRLF)
-        _key, flags, nbytes = parse_value_header(data[:header_end])
+        _key, flags, nbytes, cost = parse_value_header(data[:header_end])
         start = header_end + 2
-        return _Value(bytes(data[start:start + nbytes]), flags)
+        return _Value(bytes(data[start:start + nbytes]), flags, cost)
 
     def get_many(self, keys) -> Dict[str, _Value]:
         found: Dict[str, _Value] = {}

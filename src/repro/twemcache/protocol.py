@@ -4,6 +4,13 @@ Implemented subset (requests end with CRLF; values are raw bytes):
 
 * ``get <key> [<key>...]``  → ``VALUE <key> <flags> <bytes>\\r\\n<data>\\r\\n``
   per hit, then ``END``
+* ``gets <key> [<key>...]`` → like ``get`` but each VALUE line carries a
+  fourth token, ``VALUE <key> <flags> <bytes> <cost>``.  Stock memcached
+  puts the CAS id there; this reproduction returns the item's IQ
+  *cost* instead, so a reader learns what a re-store elsewhere should
+  piggyback — the cluster tier's replica reads and read-repair depend
+  on it (re-replicating with cost 0 would corrupt CAMP priorities on
+  the receiving node).
 * ``set|add|replace <key> <flags> <exptime> <bytes> [<cost>]`` + data
   block → ``STORED`` | ``NOT_STORED``.  ``add`` stores only when absent,
   ``replace`` only when present.  The trailing *cost* token is this
@@ -148,7 +155,7 @@ def parse_command_line(line: bytes) -> Request:
     if command in ("get", "gets"):
         if len(parts) < 2:
             raise ProtocolError("get requires at least one key")
-        return Request(command="get", keys=parts[1:])
+        return Request(command=command, keys=parts[1:])
     if command in STORAGE_COMMANDS:
         if len(parts) not in (5, 6):
             raise ProtocolError(
@@ -189,22 +196,29 @@ def parse_command_line(line: bytes) -> Request:
     raise ProtocolError(f"unknown command {parts[0]!r}")
 
 
-def render_value(key: str, flags: int, value: bytes) -> bytes:
-    """One VALUE block of a get response."""
-    header = f"VALUE {key} {flags} {len(value)}".encode("utf-8")
+def render_value(key: str, flags: int, value: bytes,
+                 cost: Optional[Number] = None) -> bytes:
+    """One VALUE block of a get response (``gets`` appends the cost)."""
+    if cost is None:
+        header = f"VALUE {key} {flags} {len(value)}".encode("utf-8")
+    else:
+        header = f"VALUE {key} {flags} {len(value)} {cost}".encode("utf-8")
     return header + CRLF + value + CRLF
 
 
-def parse_value_header(line: bytes) -> Tuple[str, int, int]:
-    """Parse one ``VALUE <key> <flags> <bytes>`` reply line into
-    ``(key, flags, nbytes)`` — the client-side half of the grammar,
-    shared by the sync and async clients."""
+def parse_value_header(line: bytes) -> Tuple[str, int, int, Number]:
+    """Parse one ``VALUE <key> <flags> <bytes> [<cost>]`` reply line into
+    ``(key, flags, nbytes, cost)`` — the client-side half of the grammar,
+    shared by the sync and async clients.  Plain ``get`` replies carry no
+    cost token; it reads as 0."""
     parts = line.decode().split()
-    if len(parts) != 4 or parts[0] != "VALUE":
+    if len(parts) not in (4, 5) or parts[0] != "VALUE":
         raise ProtocolError(f"malformed VALUE line: {line!r}")
     try:
-        return parts[1], int(parts[2]), int(parts[3])
-    except ValueError:
+        cost: Number = parse_number(parts[4], "cost") if len(parts) == 5 \
+            else 0
+        return parts[1], int(parts[2]), int(parts[3]), cost
+    except (ValueError, ProtocolError):
         raise ProtocolError(f"malformed VALUE line: {line!r}") from None
 
 
@@ -392,12 +406,14 @@ def execute_command(engine, command: Command) -> Reply:
         return Reply(b"VERSION repro-camp/1.0" + CRLF)
     if name == "stats":
         return Reply(render_stats(engine.stats()))
-    if name == "get":
+    if name in ("get", "gets"):
         out = b""
+        with_cost = name == "gets"
         for key in request.keys:
             item = engine.get(key)
             if item is not None:
-                out += render_value(key, item.flags, item.value)
+                cost = getattr(item, "cost", 0) if with_cost else None
+                out += render_value(key, item.flags, item.value, cost)
         return Reply(out + b"END" + CRLF)
     if name in STORAGE_COMMANDS:
         operation = getattr(engine, name)

@@ -282,6 +282,63 @@ class TestConnectionPool:
         assert run(main()) <= 3
 
 
+class TestPoolFailurePaths:
+    """The failure modes the cluster tier leans on: a dead node must
+    surface as a prompt error on every call, never a wedged pool."""
+
+    def test_dial_failure_mid_batch_returns_pool_permits(self):
+        """``get_many`` fans a batch out over several pooled
+        connections; when the node dies between batches, the retry
+        dials fail mid-checkout and every permit (including the ones
+        already checked out) must come back."""
+        from repro.errors import ProtocolError
+
+        async def main():
+            engine = fresh_engine()
+            async with AsyncTwemcacheServer(engine) as server:
+                client = AsyncSocketClient(server.address, pool_size=4,
+                                           timeout=2)
+                assert await client.set("k0", b"v")   # one idle conn pooled
+            # server gone: the pooled socket is stale and fresh dials fail
+            keys = [f"k{i}" for i in range(32)]
+            for _ in range(5):
+                with pytest.raises((OSError, ProtocolError,
+                                    asyncio.TimeoutError)):
+                    await asyncio.wait_for(client.get_many(keys), timeout=5)
+            await client.close()
+
+        run(main())
+
+    def test_node_death_mid_pipeline_raises_cleanly(self):
+        """A node that dies after emitting half a response must raise
+        ``ProtocolError`` from ``get_many`` — not hang the reader or
+        leave the pool wedged for later calls."""
+        from repro.errors import ProtocolError
+
+        async def main():
+            async def half_a_value(reader, writer):
+                await reader.readline()
+                writer.write(b"VALUE k0 0 64 0" + CRLF + b"only-a-prefix")
+                await writer.drain()
+                writer.close()   # die mid-body
+
+            stub = await asyncio.start_server(half_a_value, "127.0.0.1", 0)
+            address = stub.sockets[0].getsockname()[:2]
+            try:
+                client = AsyncSocketClient(address, pool_size=2, timeout=2)
+                keys = [f"k{i}" for i in range(16)]
+                for _ in range(3):   # pool stays usable after each failure
+                    with pytest.raises(ProtocolError):
+                        await asyncio.wait_for(client.get_many(keys),
+                                               timeout=5)
+                await client.close()
+            finally:
+                stub.close()
+                await stub.wait_closed()
+
+        run(main())
+
+
 class TestServerSessionUnit:
     def test_broken_session_stops_producing(self):
         engine = fresh_engine()

@@ -1,0 +1,266 @@
+"""Consistent-hash ring and cooperative-cluster (simulation) tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.outcomes import Outcome
+from repro.cluster import ClusterClient, CooperativeCluster, HashRing
+from repro.cluster.cluster import _LastReplicaPolicy
+from repro.errors import ClusterError, ConfigurationError
+
+
+class TestHashRing:
+    def test_primary_is_stable(self):
+        ring = HashRing()
+        for name in ("a", "b", "c"):
+            ring.add_node(name)
+        assert ring.primary("key1") == ring.primary("key1")
+
+    def test_preference_list_distinct(self):
+        ring = HashRing()
+        for name in ("a", "b", "c", "d"):
+            ring.add_node(name)
+        holders = ring.preference_list("k", 3)
+        assert len(holders) == len(set(holders)) == 3
+
+    def test_preference_list_capped_at_node_count(self):
+        ring = HashRing()
+        ring.add_node("only")
+        assert ring.preference_list("k", 5) == ["only"]
+
+    def test_balanced_distribution(self):
+        ring = HashRing(vnodes=128)
+        for name in ("a", "b", "c", "d"):
+            ring.add_node(name)
+        counts = {name: 0 for name in ring.nodes}
+        for i in range(8000):
+            counts[ring.primary(f"key{i}")] += 1
+        for count in counts.values():
+            assert 0.15 < count / 8000 < 0.40   # roughly 25% each
+
+    def test_removal_moves_only_owned_keys(self):
+        ring = HashRing(vnodes=64)
+        for name in ("a", "b", "c"):
+            ring.add_node(name)
+        before = {f"k{i}": ring.primary(f"k{i}") for i in range(500)}
+        ring.remove_node("b")
+        for key, owner in before.items():
+            if owner != "b":
+                assert ring.primary(key) == owner
+
+    def test_errors(self):
+        ring = HashRing()
+        with pytest.raises(ClusterError):
+            ring.primary("k")
+        ring.add_node("a")
+        with pytest.raises(ClusterError):
+            ring.add_node("a")
+        with pytest.raises(ClusterError):
+            ring.remove_node("b")
+        with pytest.raises(ConfigurationError):
+            ring.preference_list("k", 0)
+        with pytest.raises(ConfigurationError):
+            HashRing(vnodes=0)
+
+
+_NODE_NAMES = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=4),
+    min_size=2, max_size=6, unique=True)
+
+
+class TestHashRingProperties:
+    """Property-based coverage of the placement invariants the live
+    tier leans on (replication width, bounded movement)."""
+
+    @given(names=_NODE_NAMES,
+           key=st.text(min_size=1, max_size=16),
+           replicas=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_preference_list_is_distinct_and_led_by_primary(
+            self, names, key, replicas):
+        ring = HashRing(vnodes=32)
+        for name in names:
+            ring.add_node(name)
+        holders = ring.preference_list(key, replicas)
+        assert len(holders) == min(replicas, len(names))
+        assert len(set(holders)) == len(holders)
+        assert holders[0] == ring.primary(key)
+        assert set(holders) <= set(names)
+
+    @given(names=_NODE_NAMES)
+    @settings(max_examples=25, deadline=None)
+    def test_add_node_moves_a_bounded_fraction_to_the_joiner(self, names):
+        joiner = "joined-node"
+        ring = HashRing(vnodes=128)
+        for name in names:
+            ring.add_node(name)
+        keys = [f"m{i}" for i in range(600)]
+        before = {key: ring.primary(key) for key in keys}
+        ring.add_node(joiner)
+        moved = [key for key in keys if ring.primary(key) != before[key]]
+        # consistent hashing: only keys landing on the joiner re-home,
+        # and their fraction stays under 2/N of the keyspace
+        assert all(ring.primary(key) == joiner for key in moved)
+        assert len(moved) / len(keys) < 2 / (len(names) + 1)
+
+    @given(names=_NODE_NAMES)
+    @settings(max_examples=25, deadline=None)
+    def test_remove_node_moves_only_its_bounded_share(self, names):
+        ring = HashRing(vnodes=128)
+        for name in names:
+            ring.add_node(name)
+        keys = [f"m{i}" for i in range(600)]
+        before = {key: ring.primary(key) for key in keys}
+        victim = names[0]
+        ring.remove_node(victim)
+        moved = [key for key in keys if ring.primary(key) != before[key]]
+        # only the removed node's keys re-home; survivors keep theirs
+        assert all(before[key] == victim for key in moved)
+        assert len(moved) / len(keys) < 2 / len(names)
+
+
+class _Directory:
+    """Stub cluster: a fixed set of keys are last replicas."""
+
+    def __init__(self, last_keys):
+        self._last = set(last_keys)
+
+    def _replica_count(self, key):
+        return 1 if key in self._last else 2
+
+
+class TestLastReplicaPolicyMetadata:
+    def test_reprieve_readmits_with_recorded_size_and_cost(self):
+        """Regression: the reprieve used to re-admit victims with a
+        placeholder ``(1, 0)``, flattening the pair's CAMP priority.
+        The policy must replay the real ``on_insert`` metadata."""
+        policy = _LastReplicaPolicy("n", _Directory({"solo"}), precision=5)
+        policy.on_insert("solo", 123, 7)
+        policy.on_insert("other", 123, 7)    # same queue, inserted later
+        assert policy._victim_item("solo") == (123, 7)
+
+        # "solo" pops first but is the last replica: spared, re-admitted
+        # with its real metadata; "other" (replicated) is evicted instead
+        assert policy.pop_victim() == "other"
+        assert policy.reprieves == 1
+        assert "solo" in policy
+        assert policy._victim_item("solo") == (123, 7)
+
+        # the actually-evicted victim's metadata is dropped for good
+        with pytest.raises(ClusterError):
+            policy._victim_item("other")
+
+    def test_hit_renews_the_reprieve_with_real_metadata(self):
+        policy = _LastReplicaPolicy("n", _Directory({"solo"}), precision=5)
+        policy.on_insert("solo", 123, 7)
+        policy.on_insert("other", 123, 7)
+        assert policy.pop_victim() == "other"
+        policy.on_hit("solo")                # renewed interest clears mark
+        policy.on_insert("later", 123, 7)
+        assert policy.pop_victim() == "later"
+        assert policy.reprieves == 2
+        assert policy._victim_item("solo") == (123, 7)
+
+
+class TestPlacementParity:
+    """The simulation and the live tier must route identically."""
+
+    def test_client_holders_match_sim_preference_list(self):
+        names = ["n0", "n1", "n2", "n3"]
+        sim = CooperativeCluster(names, capacity_per_node=1_000,
+                                 replicas=2, vnodes=64)
+        # ClusterClient never dials at construction, so fake addresses
+        # are fine: only placement is under test
+        live = ClusterClient({name: ("127.0.0.1", 1) for name in names},
+                             replicas=2, vnodes=64)
+        for i in range(400):
+            key = f"k{i}"
+            assert (live.holders(key)
+                    == sim.ring.preference_list(key, 2))
+
+
+class TestCacheNodeOutcomes:
+    def test_lookup_and_insert_return_structured_outcomes(self):
+        cluster = CooperativeCluster(["n1"], capacity_per_node=1_000,
+                                     replicas=1)
+        node = cluster.node("n1")
+        assert node.lookup("k") is Outcome.MISS
+        assert node.insert("k", 100, 5) is Outcome.MISS_INSERTED
+        assert node.lookup("k") is Outcome.HIT
+
+
+class TestCooperativeCluster:
+    def build(self, replicas=2, capacity=5_000):
+        return CooperativeCluster(["n1", "n2", "n3"],
+                                  capacity_per_node=capacity,
+                                  replicas=replicas)
+
+    def test_miss_then_local_hit(self):
+        cluster = self.build()
+        assert cluster.get("k", 100, 10) == "miss"
+        assert cluster.get("k", 100, 10) == "local"
+        assert cluster.stats()["misses"] == 1
+        assert cluster.stats()["local_hits"] == 1
+
+    def test_replication_count(self):
+        cluster = self.build(replicas=2)
+        cluster.get("k", 100, 10)
+        assert len(cluster.resident_nodes("k")) == 2
+
+    def test_remote_hit_rereplicates(self):
+        cluster = self.build(replicas=2)
+        cluster.get("k", 100, 10)
+        holders = cluster.ring.preference_list("k", 2)
+        primary = cluster.node(holders[0])
+        primary.kvs.delete("k")   # simulate primary losing its copy
+        assert cluster.get("k", 100, 10) == "remote"
+        assert "k" in primary
+
+    def test_last_replica_gets_reprieve(self):
+        cluster = CooperativeCluster(["n1"], capacity_per_node=1_000,
+                                     replicas=1)
+        node = cluster.node("n1")
+        # fill with cheap items, then push a stream through: every victim is
+        # a last replica, so the policy grants one reprieve each
+        for i in range(30):
+            cluster.get(f"k{i}", 100, 1)
+        assert cluster.stats()["reprieves"] > 0
+        assert len(node.kvs) <= 10
+
+    def test_spared_pair_eventually_evicted(self):
+        """The paper's challenge: a never-again-accessed last replica must
+        not occupy memory forever."""
+        cluster = CooperativeCluster(["n1"], capacity_per_node=1_000,
+                                     replicas=1)
+        cluster.get("dead", 100, 500)   # expensive, never touched again
+        # L climbs ~1 per (resident count) evictions, so give the stream
+        # comfortably more than 500 * 10 filler misses
+        for i in range(8000):
+            cluster.get(f"filler{i}", 100, 1)
+        assert cluster.resident_nodes("dead") == []
+
+    def test_workload_distribution(self):
+        cluster = self.build(capacity=50_000)
+        rng = random.Random(0)
+        for _ in range(3000):
+            key = f"k{rng.randrange(300)}"
+            cluster.get(key, rng.randrange(50, 200),
+                        rng.choice([1, 100, 10_000]))
+        stats = cluster.stats()
+        assert stats["local_hits"] > 0
+        assert stats["resident_items"] > 0
+        sizes = [len(node.kvs) for node in cluster.nodes()]
+        assert all(size > 0 for size in sizes)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            CooperativeCluster([], 1000)
+        with pytest.raises(ConfigurationError):
+            CooperativeCluster(["a", "a"], 1000)
+        with pytest.raises(ConfigurationError):
+            CooperativeCluster(["a"], 1000, replicas=0)
+        with pytest.raises(ClusterError):
+            self.build().node("ghost")
