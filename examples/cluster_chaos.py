@@ -1,0 +1,109 @@
+"""Chaos drill: kill and stall nodes under load, then heal the fleet.
+
+Spawns three real server processes, then walks them through the
+failure modes the self-healing machinery exists for:
+
+- **SIGKILL** one node mid-stream — writes to it park in a per-node
+  hint log (real CAMP costs and all) instead of being dropped.
+- **SIGSTOP** a second node — the kernel still accepts its
+  connections, so requests *hang*; the per-request deadline budget
+  turns them into bounded misses instead of stacked timeouts, and the
+  circuit breaker routes around the node.
+- **Heal** — restart the victim, replay its hints, then run a digest
+  anti-entropy sweep and verify every replica agrees on every key's
+  (cost, crc32) fingerprint.
+
+Run with:  PYTHONPATH=src python examples/cluster_chaos.py
+"""
+
+import asyncio
+import pathlib
+import shutil
+import tempfile
+
+from repro.cluster import ClusterClient, ClusterSupervisor
+
+KEYS = 150
+
+
+def main() -> None:
+    state_dir = tempfile.mkdtemp(prefix="camp-chaos-")
+    try:
+        supervisor = ClusterSupervisor(["c0", "c1", "c2"],
+                                       memory_bytes=16 << 20,
+                                       state_dir=state_dir)
+        with supervisor:
+            print(f"fleet up: {supervisor.addresses()}")
+            asyncio.run(drive(supervisor, pathlib.Path(state_dir)))
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+async def drive(supervisor: ClusterSupervisor,
+                state_dir: pathlib.Path) -> None:
+    async with ClusterClient(supervisor.addresses(), replicas=2,
+                             timeout=0.5, request_deadline=2.0,
+                             backoff_base=0.05, backoff_max=0.5,
+                             hints_dir=state_dir / "hints") as client:
+        entries = [(f"user:{i}", f"profile-{i}".encode(), 0, 0, 1 + i % 9)
+                   for i in range(KEYS)]
+        keys = [key for key, *_ in entries]
+        await client.set_many(entries)
+        await client.save_all()         # snapshot material for warm rejoin
+        print(f"preloaded {KEYS} keys across 3 nodes")
+
+        # --- phase 1: SIGKILL c0, keep writing -------------------------
+        supervisor.kill("c0")
+        print("\nSIGKILLed c0; writing fresh keys anyway...")
+        fresh = [(f"late:{i}", f"late-{i}".encode(), 0, 0, 5)
+                 for i in range(40)]
+        stored = await client.set_many(fresh)
+        keys += [key for key, *_ in fresh]
+        print(f"  {sum(stored)}/{len(fresh)} acked "
+              f"(hints parked for c0: {client.counters['hints_written']})")
+
+        # --- phase 2: SIGSTOP c1 — requests hang, deadlines bound them -
+        supervisor.pause("c1")
+        print("\nSIGSTOPped c1 (connections still accepted, replies "
+              "never come)...")
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        found = await client.get_many(keys)
+        elapsed = loop.time() - start
+        print(f"  read round finished in {elapsed * 1000:.0f} ms "
+              f"(deadline budget 2000 ms), {len(found)}/{len(keys)} found, "
+              f"deadline_expirations={client.counters['deadline_expirations']}, "
+              f"breaker(c1)={client.breaker_state('c1')}")
+        supervisor.resume("c1")
+        print("SIGCONTed c1")
+
+        # --- phase 3: heal — restart, replay hints, sweep --------------
+        recovered = supervisor.restart("c0")
+        print(f"\nrestarted c0 ({recovered} items recovered warm); "
+              f"healing...")
+        await client.replay_hints()
+        report = await client.anti_entropy()
+        print(f"  hints replayed: {client.counters['hints_replayed']}")
+        print(f"  anti-entropy: {report['keys_checked']} keys checked, "
+              f"{report['divergent_pairs']} divergent, "
+              f"{report['repaired']} repaired")
+
+        # --- audit: every key intact, every replica converged ----------
+        found = await client.get_many(keys)  # the cost-aware gets verb
+        intact = sum(1 for i, key in enumerate(keys[:KEYS])
+                     if found[key].cost == 1 + i % 9)
+        digests = await client.digest_all()
+        divergent = 0
+        for key in keys:
+            holders = [n for n in client.holders(key) if n in digests]
+            seen = {digests[n][key] for n in holders if key in digests[n]}
+            if len(seen) > 1:
+                divergent += 1
+        print(f"\naudit: {len(found)}/{len(keys)} keys readable, "
+              f"{intact}/{KEYS} preloaded costs intact, "
+              f"{divergent} divergent replica pairs")
+        print(f"counters: {client.counters}")
+
+
+if __name__ == "__main__":
+    main()

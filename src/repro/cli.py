@@ -205,6 +205,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="the cluster's --state-dir (holds "
                              "cluster.json)")
     c_kill.add_argument("name", help="node name from the manifest")
+    c_repair = cluster_sub.add_parser(
+        "repair",
+        help="one anti-entropy sweep over a running cluster: diff "
+             "replica digests, re-replicate divergent pairs")
+    c_repair.add_argument("state_dir",
+                          help="the cluster's --state-dir (holds "
+                               "cluster.json)")
+    c_repair.add_argument("--replicas", type=int, default=2,
+                          help="copies per key the ring places "
+                               "(default 2; must match the serving "
+                               "clients)")
+    c_repair.add_argument("--prefix", default="",
+                          help="only sweep keys with this prefix")
+    c_chaos = cluster_sub.add_parser(
+        "chaos",
+        help="run the cluster-chaos drill (seeded kill/stall schedule, "
+             "healing gates)")
+    c_chaos.add_argument("--scale", default="default",
+                         choices=("tiny", "default", "full"))
+    c_chaos.add_argument("--csv", action="store_true",
+                         help="emit CSV instead of aligned tables")
 
     compare_cmd = sub.add_parser(
         "compare", help="run several policies over one trace, side by side")
@@ -548,6 +569,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return _cluster_serve(args)
     if args.cluster_command == "bench":
         return _cluster_bench(args)
+    if args.cluster_command == "repair":
+        return _cluster_repair(args)
+    if args.cluster_command == "chaos":
+        return _cluster_chaos(args)
     return _cluster_kill_node(args)
 
 
@@ -566,15 +591,37 @@ def _cluster_serve(args: argparse.Namespace) -> int:
         warm = supervisor.recovered_items(name)
         suffix = f" ({warm} items recovered)" if warm else ""
         print(f"  {name}: {host}:{port}{suffix}")
+    # restart dead members with per-node exponential backoff, and
+    # quarantine a crash-looping one (corrupt snapshot dir, stolen
+    # port) instead of respawning it in a tight loop — the rest of the
+    # fleet keeps serving either way
+    from repro.cluster import RestartBackoff
+    from repro.errors import ClusterError
+    backoff = RestartBackoff(base=1.0, cap=30.0, quarantine_after=5,
+                             healthy_after=60.0)
+    quarantined: set = set()
     try:
         while True:
             time.sleep(1)
             for name in supervisor.names:
-                if not supervisor.is_running(name):
-                    print(f"node {name} died; restarting")
+                if name in quarantined or supervisor.is_running(name):
+                    continue
+                decision = backoff.decide(name)
+                if decision == "wait":
+                    continue
+                if decision == "quarantine":
+                    quarantined.add(name)
+                    print(f"node {name} is crash-looping; quarantined "
+                          f"(fleet keeps serving without it)")
+                    continue
+                print(f"node {name} died; restarting")
+                try:
                     recovered = supervisor.restart(name)
-                    print(f"  {name} back up "
-                          f"({recovered} items recovered)")
+                except ClusterError as exc:
+                    print(f"  {name} failed to restart: {exc}")
+                    continue
+                print(f"  {name} back up "
+                      f"({recovered} items recovered)")
     except KeyboardInterrupt:
         supervisor.stop()
         print("stopped")
@@ -584,6 +631,47 @@ def _cluster_serve(args: argparse.Namespace) -> int:
 def _cluster_bench(args: argparse.Namespace) -> int:
     from repro.experiments import run_experiment
     for table in run_experiment("cluster-serving", scale=args.scale):
+        if args.csv:
+            print(f"# {table.title}")
+            print(table.to_csv())
+        else:
+            print(table.to_ascii())
+    return 0
+
+
+def _cluster_repair(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import pathlib
+    from repro.cluster import ClusterClient
+    from repro.errors import ClusterError
+    manifest_path = pathlib.Path(args.state_dir) / "cluster.json"
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except OSError as exc:
+        raise ClusterError(f"cannot read {manifest_path}: {exc}") from exc
+    if not manifest:
+        raise ClusterError(f"{manifest_path} lists no members")
+    nodes = {name: (entry["host"], entry["port"])
+             for name, entry in manifest.items()}
+
+    async def sweep():
+        async with ClusterClient(nodes,
+                                 replicas=args.replicas) as client:
+            return await client.anti_entropy(args.prefix)
+
+    report = asyncio.run(sweep())
+    print(f"anti-entropy over {len(nodes)} members "
+          f"({report['nodes_scanned']} answered): "
+          f"{report['keys_checked']} keys checked, "
+          f"{report['divergent_pairs']} divergent pairs, "
+          f"{report['repaired']} repaired")
+    return 0 if report["nodes_scanned"] == len(nodes) else 1
+
+
+def _cluster_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+    for table in run_experiment("cluster-chaos", scale=args.scale):
         if args.csv:
             print(f"# {table.title}")
             print(table.to_csv())

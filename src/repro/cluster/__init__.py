@@ -6,7 +6,9 @@ Two faces share the same :class:`HashRing` placement:
   for policy studies, and
 * the live tier — :class:`ClusterClient` routing over N
   server subprocesses owned by :class:`ClusterSupervisor`, with replica
-  reads, read-repair, failover, and warm node rejoin.
+  reads, read-repair, per-node circuit breakers, hinted handoff
+  (:class:`HintLog`), digest-based anti-entropy, request deadlines, and
+  warm node rejoin (restart pacing via :class:`RestartBackoff`).
 """
 
 from __future__ import annotations
@@ -14,7 +16,8 @@ from __future__ import annotations
 from repro.cluster.client import ClusterClient
 from repro.cluster.cluster import CacheNode, CooperativeCluster
 from repro.cluster.hashring import HashRing
-from repro.cluster.supervisor import ClusterSupervisor
+from repro.cluster.hints import HintLog
+from repro.cluster.supervisor import ClusterSupervisor, RestartBackoff
 
 __all__ = ["HashRing", "CacheNode", "CooperativeCluster", "ClusterClient",
-           "ClusterSupervisor"]
+           "ClusterSupervisor", "RestartBackoff", "HintLog"]

@@ -1,0 +1,118 @@
+"""Hinted handoff: writes a down holder missed, parked for replay.
+
+When :class:`~repro.cluster.client.ClusterClient` cannot deliver a
+write to one of a key's replica holders (breaker open, dial refused,
+mid-pipeline death), the entry is appended to that node's *hint log*
+on the coordinator — one CRC-framed file per absent node, in the
+shared :mod:`repro.persistence.format` — and replayed the moment the
+node's probe succeeds.  Each hint carries the value bytes *and* the
+CAMP cost, so the bounced node re-learns the exact priority a normal
+``set`` would have taught it; a node can therefore converge on the
+writes it slept through without waiting for read-repair to stumble
+over each key.
+
+The log is append-only and torn-tolerant (a crash mid-hint loses that
+hint, never the file); replay deduplicates to the newest record per
+key, then :meth:`HintLog.clear` drops the file.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import List, Tuple, Union
+
+from repro.faults.files import fault_open
+from repro.persistence.format import (
+    PersistenceError,
+    decode_payload,
+    encode_payload,
+    read_magic,
+    scan_records,
+    write_magic,
+    write_record,
+)
+
+__all__ = ["HintLog", "HINT_MAGIC"]
+
+#: hint files' first 8 bytes: format family + version (bump on change)
+HINT_MAGIC = b"CAMPHNT1"
+
+Number = Union[int, float]
+
+#: (key, value, flags, expire_after, cost) — the set_many row shape;
+#: value None marks a parked *delete* (replayed as a delete, so a
+#: bounced node cannot resurrect a key removed while it slept)
+HintEntry = Tuple[str, bytes, int, float, Number]
+
+
+class HintLog:
+    """One node's parked writes, durably framed on the coordinator."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self._path = pathlib.Path(path)
+        self._appended = 0
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    def append(self, key: str, value: bytes, flags: int = 0,
+               expire_after: float = 0, cost: Number = 0) -> None:
+        """Park one write; raises PersistenceError if even the hint
+        cannot be persisted (true ENOSPC — the write is then only as
+        durable as the replicas that did take it)."""
+        body = {"k": key, "v": encode_payload(value), "f": flags,
+                "ttl": expire_after, "c": cost}
+        self._write(body)
+
+    def append_delete(self, key: str) -> None:
+        """Park a delete for the absent node (anti-resurrection)."""
+        self._write({"k": key, "d": 1})
+
+    def _write(self, body: dict) -> None:
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with fault_open(self._path, "ab") as handle:
+                if handle.tell() == 0:
+                    write_magic(handle, HINT_MAGIC)
+                write_record(handle, body)
+                handle.flush()
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot append hint to {self._path}: {exc}") from exc
+        self._appended += 1
+
+    def entries(self) -> List[HintEntry]:
+        """Every replayable hint, deduplicated to the newest record per
+        key (in first-hinted order).  A torn tail or foreign magic
+        reads as fewer/zero hints, never an error."""
+        if not self._path.exists():
+            return []
+        with open(self._path, "rb") as handle:
+            try:
+                read_magic(handle, HINT_MAGIC)
+            except PersistenceError:
+                return []
+            records, _clean, _valid = scan_records(handle)
+        newest = {}
+        for body in records:
+            try:
+                if body.get("d"):
+                    newest[body["k"]] = (body["k"], None, 0, 0.0, 0)
+                else:
+                    newest[body["k"]] = (body["k"],
+                                         decode_payload(body["v"]),
+                                         int(body.get("f", 0)),
+                                         float(body.get("ttl", 0)),
+                                         body.get("c", 0))
+            except (KeyError, TypeError, ValueError, PersistenceError):
+                continue   # one malformed hint must not void the rest
+        return list(newest.values())
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> None:
+        """Drop the file (called after a successful replay)."""
+        self._path.unlink(missing_ok=True)

@@ -27,16 +27,17 @@ import os
 import pathlib
 import select
 import shutil
+import signal
 import socket
 import subprocess
 import sys
 import tempfile
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ClusterError, ConfigurationError
 
-__all__ = ["ClusterSupervisor"]
+__all__ = ["ClusterSupervisor", "RestartBackoff"]
 
 
 def _free_port(host: str) -> int:
@@ -65,6 +66,69 @@ class _Node:
         self.log_path = log_path
         self.process: Optional[subprocess.Popen] = None
         self.recovered = 0            # items loaded at last (re)start
+
+
+class RestartBackoff:
+    """Per-node restart pacing with a crash-loop quarantine.
+
+    The serve watch loop asks :meth:`decide` what to do about a dead
+    node: ``"wait"`` while its backoff window is open, ``"restart"``
+    when an attempt is due (the attempt is recorded), and
+    ``"quarantine"`` once ``quarantine_after`` attempts have failed in
+    quick succession — a node crashing on startup (corrupt snapshot
+    dir, port stolen) must not be respawned in a tight loop while the
+    rest of the fleet serves.  A node that stays up ``healthy_after``
+    seconds between deaths has its streak forgiven.
+    """
+
+    def __init__(self, base: float = 1.0, cap: float = 30.0,
+                 quarantine_after: int = 5, healthy_after: float = 60.0,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if base <= 0 or cap < base:
+            raise ConfigurationError(
+                f"need 0 < base <= cap, got base={base} cap={cap}")
+        if quarantine_after < 1:
+            raise ConfigurationError(
+                f"quarantine_after must be >= 1, got {quarantine_after}")
+        self._base = base
+        self._cap = cap
+        self._quarantine_after = quarantine_after
+        self._healthy_after = healthy_after
+        self._clock = clock if clock is not None else time.monotonic
+        self._attempts: Dict[str, int] = {}
+        self._last_attempt: Dict[str, float] = {}
+        self._quarantined: set = set()
+
+    def decide(self, name: str) -> str:
+        """What to do about ``name`` being down right now."""
+        if name in self._quarantined:
+            return "quarantine"
+        now = self._clock()
+        attempts = self._attempts.get(name, 0)
+        last = self._last_attempt.get(name)
+        if attempts and last is not None:
+            if now - last >= self._healthy_after:
+                # it ran healthily since the last respawn: clean slate
+                attempts = 0
+            else:
+                delay = min(self._base * (2 ** (attempts - 1)), self._cap)
+                if now - last < delay:
+                    return "wait"
+        if attempts >= self._quarantine_after:
+            self._quarantined.add(name)
+            return "quarantine"
+        self._attempts[name] = attempts + 1
+        self._last_attempt[name] = now
+        return "restart"
+
+    def quarantined(self) -> List[str]:
+        return sorted(self._quarantined)
+
+    def forgive(self, name: str) -> None:
+        """Lift a quarantine (operator action after fixing the cause)."""
+        self._quarantined.discard(name)
+        self._attempts.pop(name, None)
+        self._last_attempt.pop(name, None)
 
 
 class ClusterSupervisor:
@@ -229,6 +293,21 @@ class ClusterSupervisor:
             node.process.wait(timeout=10)
         node.process = None
         self._write_manifest()
+
+    def pause(self, name: str) -> None:
+        """SIGSTOP: the stall drill — the process freezes mid-flight
+        (sockets stay open, requests hang) until :meth:`resume`."""
+        node = self._node(name)
+        if node.process is None or node.process.poll() is not None:
+            raise ClusterError(f"node {name!r} is not running")
+        node.process.send_signal(signal.SIGSTOP)
+
+    def resume(self, name: str) -> None:
+        """SIGCONT: wake a paused node; a no-op on one never paused."""
+        node = self._node(name)
+        if node.process is None or node.process.poll() is not None:
+            raise ClusterError(f"node {name!r} is not running")
+        node.process.send_signal(signal.SIGCONT)
 
     def restart(self, name: str) -> int:
         """(Re)spawn a stopped node on its original port; returns how

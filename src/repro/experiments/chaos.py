@@ -1,0 +1,333 @@
+"""``cluster-chaos`` — the self-healing drill under a seeded fault plan.
+
+The robustness half of the live cluster tier: a 3-node subprocess
+fleet (:class:`~repro.cluster.ClusterSupervisor`) serves a steady
+read/write load while a deterministic :class:`~repro.faults.FaultPlan`
+schedule crashes one node (SIGKILL), freezes another mid-flight
+(SIGSTOP — sockets stay open, requests hang), wakes it, and restarts
+the crashed node.  The :class:`~repro.cluster.ClusterClient` rides it
+out with per-node circuit breakers, per-request deadlines, and hinted
+handoff; after the last fault the drill heals explicitly — hint
+replay, then a digest anti-entropy sweep — and audits the wreckage.
+
+Three gates (enforced in ``benchmarks/test_chaos.py``):
+
+1. **Zero client-visible errors.**  Every fault must degrade (replica
+   read, narrower write, deadline-bounded miss), never raise.
+2. **Acked writes survive.**  Every write the client acked (stored on
+   at least one holder) reads back byte-identical with its exact CAMP
+   cost after healing.
+3. **Replicas converge.**  After replay + sweep, every key's digest —
+   (cost, crc32) — is identical across all of its holders, including
+   keys never read after the faults.
+
+Latency is tracked per load round so the deadline budget's effect is
+visible: p99 under faults stays bounded near
+``deadline + one node timeout`` instead of stacking timeouts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis import Table
+from repro.cluster.client import ClusterClient
+from repro.cluster.loadgen import cost_for, key_name, percentile, value_for
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.errors import ConfigurationError
+from repro.experiments.data import get_scale
+from repro.faults import Fault, FaultPlan
+
+__all__ = ["ChaosScale", "chaos_scale", "build_schedule", "StepRecord",
+           "ChaosResult", "run_chaos_drill", "tables_for", "run"]
+
+REPLICAS = 2
+NODE_NAMES = ("c0", "c1", "c2")
+VICTIM, STALLER = "c0", "c1"     # killed / frozen by the schedule
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosScale:
+    """Load sizing and fault timing for one scale."""
+
+    preload_keys: int        # acked + snapshotted before the first fault
+    fresh_per_round: int     # new writes per schedule step
+    read_batch: int          # keys re-read per schedule step
+    value_size: int
+    pool_size: int
+    timeout: float           # per-node socket timeout
+    deadline: float          # per-request budget across retries
+    backoff_base: float
+    backoff_max: float
+
+
+_CONFIGS: Dict[str, ChaosScale] = {
+    "tiny": ChaosScale(preload_keys=120, fresh_per_round=24, read_batch=24,
+                       value_size=64, pool_size=2, timeout=0.75,
+                       deadline=2.5, backoff_base=0.05, backoff_max=0.4),
+    "default": ChaosScale(preload_keys=600, fresh_per_round=48,
+                          read_batch=48, value_size=100, pool_size=2,
+                          timeout=1.0, deadline=3.5, backoff_base=0.05,
+                          backoff_max=0.5),
+    "full": ChaosScale(preload_keys=2_000, fresh_per_round=64,
+                       read_batch=96, value_size=100, pool_size=4,
+                       timeout=1.0, deadline=3.5, backoff_base=0.05,
+                       backoff_max=0.5),
+}
+
+
+def chaos_scale(scale: str) -> ChaosScale:
+    get_scale(scale)  # validate the scale name with the shared error
+    try:
+        return _CONFIGS[scale]
+    except KeyError:  # pragma: no cover - scales and configs stay in sync
+        raise ConfigurationError(f"no chaos config for scale {scale!r}")
+
+
+def build_schedule(seed: int = 0) -> FaultPlan:
+    """The drill's process-seam timeline, one fault per step:
+
+    ======  =========================================================
+    step 0  baseline round, then snapshot (``save_all``)
+    step 1  SIGKILL the victim — crash, no drain, no goodbye snapshot
+    step 2  load with the victim down (writes to its keys park hints)
+    step 3  SIGSTOP the staller — requests to it hang, not fail
+    step 4  load under the stall (deadline budget bounds the round)
+    step 5  SIGCONT the staller
+    step 6  restart the victim from its snapshot (same port)
+    step 7  recovery round — probes revive breakers, hints replay
+    ======  =========================================================
+    """
+    return FaultPlan(faults=[
+        Fault(kind="sigkill", seam="process", target=VICTIM, at=1),
+        Fault(kind="sigstop", seam="process", target=STALLER, at=3),
+        Fault(kind="sigcont", seam="process", target=STALLER, at=5),
+        Fault(kind="restart", seam="process", target=VICTIM, at=6),
+    ], seed=seed)
+
+
+# ----------------------------------------------------------------------
+# result shapes
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class StepRecord:
+    """One schedule step: what fired and how the load round went."""
+
+    step: int
+    events: List[str]
+    writes_acked: int
+    writes_refused: int      # stored False: no holder reachable (not an error)
+    reads_found: int
+    reads_missed: int
+    round_ms: float
+
+
+@dataclass(slots=True)
+class ChaosResult:
+    """Everything the benchmark gates, in one bundle."""
+
+    scale: str
+    steps: List[StepRecord] = field(default_factory=list)
+    client_errors: int = 0
+    acked_keys: int = 0
+    refused_writes: int = 0
+    deadline_expirations: int = 0
+    hints_written: int = 0
+    hints_replayed: int = 0
+    repair_report: Dict[str, int] = field(default_factory=dict)
+    readback_found: int = 0
+    readback_intact: int = 0     # byte-identical value AND exact CAMP cost
+    digest_nodes: int = 0
+    digest_keys: int = 0
+    divergent_after: int = 0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    @property
+    def healed(self) -> bool:
+        return (self.client_errors == 0
+                and self.readback_intact == self.acked_keys
+                and self.divergent_after == 0)
+
+
+# ----------------------------------------------------------------------
+# the drill
+# ----------------------------------------------------------------------
+def _entries(indexes, size):
+    return [(key_name(i), value_for(i, size), 0, 0, cost_for(i))
+            for i in indexes]
+
+
+async def _drill(supervisor: ClusterSupervisor, config: ChaosScale,
+                 plan: FaultPlan, result: ChaosResult) -> None:
+    hints_dir = supervisor.state_dir / "hints"
+    client = ClusterClient(
+        supervisor.addresses(), replicas=REPLICAS,
+        pool_size=config.pool_size, timeout=config.timeout,
+        backoff_base=config.backoff_base, backoff_max=config.backoff_max,
+        hints_dir=str(hints_dir), request_deadline=config.deadline,
+        jitter_seed=plan.seed)
+    acked: Set[int] = set()
+    round_ms: List[float] = []
+    try:
+        # -- preload: an acked, snapshotted baseline -------------------
+        preload = _entries(range(config.preload_keys), config.value_size)
+        for lo in range(0, len(preload), 256):
+            chunk = preload[lo:lo + 256]
+            stored = await client.set_many(chunk)
+            acked.update(lo + j for j, ok in enumerate(stored) if ok)
+
+        next_fresh = config.preload_keys
+        for step in range(plan.last_step() + 2):   # one recovery round
+            events = []
+            for fault in plan.events_at(step):
+                events.append(f"{fault.kind}:{fault.target}")
+                if fault.kind == "sigkill":
+                    supervisor.kill(fault.target)
+                elif fault.kind == "sigstop":
+                    supervisor.pause(fault.target)
+                elif fault.kind == "sigcont":
+                    supervisor.resume(fault.target)
+                elif fault.kind == "restart":
+                    supervisor.restart(fault.target)
+
+            fresh = range(next_fresh, next_fresh + config.fresh_per_round)
+            next_fresh = fresh.stop
+            reread = [key_name(i % max(next_fresh, 1))
+                      for i in range(step * config.read_batch,
+                                     (step + 1) * config.read_batch)]
+            started = time.monotonic()
+            refused = found = 0
+            try:
+                stored = await client.set_many(
+                    _entries(fresh, config.value_size))
+                acked.update(i for i, ok in zip(fresh, stored) if ok)
+                refused = sum(1 for ok in stored if not ok)
+                found = len(await client.get_many(reread))
+            except Exception:
+                result.client_errors += 1
+            elapsed_ms = (time.monotonic() - started) * 1e3
+            round_ms.append(elapsed_ms)
+            result.steps.append(StepRecord(
+                step=step, events=events,
+                writes_acked=len(fresh) - refused, writes_refused=refused,
+                reads_found=found, reads_missed=len(reread) - found,
+                round_ms=elapsed_ms))
+            result.refused_writes += refused
+            if step == 0:
+                # snapshot the healthy fleet: the SIGKILL at step 1 gets
+                # no goodbye write, so this is the rejoin material
+                await client.save_all()
+
+        # -- heal: replay parked hints, then sweep the digests ---------
+        try:
+            await client.replay_hints()
+            result.repair_report = await client.anti_entropy()
+        except Exception:
+            result.client_errors += 1
+
+        # -- audit: acked writes + replica convergence ------------------
+        acked_names = [key_name(i) for i in sorted(acked)]
+        values = {}
+        for lo in range(0, len(acked_names), 256):
+            try:
+                values.update(await client.get_many(
+                    acked_names[lo:lo + 256]))
+            except Exception:
+                result.client_errors += 1
+        intact = sum(
+            1 for i in sorted(acked)
+            if key_name(i) in values
+            and values[key_name(i)].value == value_for(i, config.value_size)
+            and values[key_name(i)].cost == cost_for(i))
+        digests = await client.digest_all()
+        every_key: Set[str] = set()
+        for summary in digests.values():
+            every_key.update(summary)
+        divergent = 0
+        for key in every_key:
+            holders = [h for h in client.holders(key) if h in digests]
+            views = {digests[h].get(key) for h in holders}
+            if len(views) > 1:
+                divergent += 1
+        result.acked_keys = len(acked)
+        result.readback_found = len(values)
+        result.readback_intact = intact
+        result.digest_nodes = len(digests)
+        result.digest_keys = len(every_key)
+        result.divergent_after = divergent
+        result.deadline_expirations = client.counters[
+            "deadline_expirations"]
+        result.hints_written = client.counters["hints_written"]
+        result.hints_replayed = client.counters["hints_replayed"]
+        result.p50_ms = percentile(round_ms, 50)
+        result.p99_ms = percentile(round_ms, 99)
+    finally:
+        await client.close()
+
+
+def run_chaos_drill(scale: str = "default", seed: int = 23) -> ChaosResult:
+    """Run the scripted fault schedule against a live 3-node fleet."""
+    config = chaos_scale(scale)
+    plan = build_schedule(seed)
+    result = ChaosResult(scale=scale)
+    with ClusterSupervisor(list(NODE_NAMES),
+                           memory_bytes=64 << 20) as supervisor:
+        try:
+            asyncio.run(_drill(supervisor, config, plan, result))
+        finally:
+            # a drill aborted mid-stall must not leave a SIGSTOPped
+            # child for the supervisor to SIGTERM into the void
+            try:
+                supervisor.resume(STALLER)
+            except Exception:
+                pass
+    return result
+
+
+# ----------------------------------------------------------------------
+# the registry entry point
+# ----------------------------------------------------------------------
+def run(scale: str = "default") -> List[Table]:
+    return tables_for(run_chaos_drill(scale))
+
+
+def tables_for(result: ChaosResult) -> List[Table]:
+    """Render one drill as tables (shared with the benchmark, so the
+    gates and the archive come from a single run)."""
+    timeline = Table(
+        f"Cluster chaos — seeded fault schedule (replicas {REPLICAS}, "
+        f"scale {result.scale})",
+        ["step", "events", "writes_acked", "writes_refused",
+         "reads_found", "reads_missed", "round_ms"])
+    for record in result.steps:
+        timeline.add_row(
+            record.step, ",".join(record.events) or "-",
+            record.writes_acked, record.writes_refused,
+            record.reads_found, record.reads_missed,
+            round(record.round_ms, 1))
+    healing = Table(
+        "Cluster chaos — healing: hinted handoff + digest anti-entropy",
+        ["hints_written", "hints_replayed", "keys_checked",
+         "divergent_pairs", "repaired", "divergent_after_sweep"])
+    healing.add_row(
+        result.hints_written, result.hints_replayed,
+        result.repair_report.get("keys_checked", 0),
+        result.repair_report.get("divergent_pairs", 0),
+        result.repair_report.get("repaired", 0),
+        result.divergent_after)
+    audit = Table(
+        "Cluster chaos — audit: every acked write, byte-identical with "
+        "its CAMP cost",
+        ["acked_keys", "readback_found", "readback_intact",
+         "client_errors", "refused_writes", "deadline_expirations",
+         "round_p50_ms", "round_p99_ms", "healed"])
+    audit.add_row(
+        result.acked_keys, result.readback_found, result.readback_intact,
+        result.client_errors, result.refused_writes,
+        result.deadline_expirations, round(result.p50_ms, 1),
+        round(result.p99_ms, 1), int(result.healed))
+    return [timeline, healing, audit]

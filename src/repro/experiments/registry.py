@@ -13,6 +13,7 @@ from typing import Callable, Dict, List
 from repro.analysis import Table
 from repro.errors import ConfigurationError
 from repro.experiments import ablations, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments import chaos as chaos_module
 from repro.experiments import cluster_serving as cluster_serving_module
 from repro.experiments import table1 as table1_module
 from repro.experiments import tenancy as tenancy_module
@@ -108,6 +109,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
               "Live cluster tier: 1->3 process scaling, kill-one-node "
               "drill, warm rejoin",
               cluster_serving_module.run),
+        _spec("cluster-chaos", "section 6 ext.",
+              "Seeded chaos drill: kill + stall under load; hinted "
+              "handoff, anti-entropy, deadline-bounded latency",
+              chaos_module.run),
     ]
 }
 

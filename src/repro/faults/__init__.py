@@ -1,0 +1,29 @@
+"""``repro.faults`` — the seeded, deterministic fault-injection plane.
+
+A :class:`FaultPlan` is a declarative schedule of faults; the plane
+delivers them at three seams, so every failure mode the cluster tier
+claims to survive is reproducible from a seed instead of hoped-for:
+
+* **transport** (:mod:`repro.faults.transport`) — connection refusal,
+  resets, added latency, and read/write stalls, injected into
+  :class:`~repro.twemcache.async_client.AsyncSocketClient` dials/reads
+  and (via a wrapping transport) into
+  :class:`~repro.twemcache.async_server.AsyncTwemcacheServer` writes.
+* **files** (:mod:`repro.faults.files`) — ENOSPC, short writes, and
+  torn mid-frame writes on the persistence paths (snapshot temp files,
+  the append-only log, disk-tier segments).
+* **process** — SIGSTOP/SIGCONT/SIGKILL/restart events consumed by
+  :class:`~repro.cluster.supervisor.ClusterSupervisor` drills (the
+  ``cluster-chaos`` experiment walks a fleet through them).
+
+Everything is deterministic: each fault carries a 0-based operation
+index on its own (seam, target) counter, so "the 3rd append to the AOL
+fails with ENOSPC" means exactly that, run after run.
+"""
+
+from repro.faults.plan import Fault, FaultError, FaultPlan
+from repro.faults.files import fault_open, inject
+from repro.faults.transport import FaultyTransport, apply_connect_faults
+
+__all__ = ["Fault", "FaultError", "FaultPlan", "fault_open", "inject",
+           "FaultyTransport", "apply_connect_faults"]

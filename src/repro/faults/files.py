@@ -1,0 +1,115 @@
+"""The file-op shim: disk faults for persistence and the disk tier.
+
+:func:`fault_open` is a drop-in for ``open`` on the append/publish
+paths (AOL handle, snapshot temp file, disk-tier segments).  Writable
+binary handles come back wrapped in :class:`FaultyFile`, whose
+``write`` consults the *currently injected* plans — injection can
+happen after the handle was opened, which is how tests arrange "the
+log is healthy, then the disk fills".  With no plan injected the
+wrapper is a single list check per write.
+
+File-seam kinds:
+
+* ``enospc``      — the write persists nothing and raises ``ENOSPC``.
+* ``short_write`` — ``keep_bytes`` of the buffer land on disk, then
+  ``ENOSPC`` — the classic partially-applied append.
+* ``torn_write``  — ``keep_bytes`` land, then ``EIO`` — a power cut
+  mid-frame; the torn prefix stays behind for recovery to truncate.
+
+Read-only and text-mode handles pass through unwrapped: faults model
+the mutation path, and recovery reads must see the disk as it is.
+"""
+
+from __future__ import annotations
+
+import builtins
+import errno
+import os
+import threading
+from contextlib import contextmanager
+from typing import IO, Iterator, List, Union
+
+from repro.faults.plan import Fault, FaultPlan
+
+__all__ = ["fault_open", "inject", "active_plans", "FaultyFile"]
+
+_PLANS: List[FaultPlan] = []
+_PLANS_LOCK = threading.Lock()
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for every :class:`FaultyFile` write issued
+    inside the block (process-wide; plans nest)."""
+    with _PLANS_LOCK:
+        _PLANS.append(plan)
+    try:
+        yield plan
+    finally:
+        with _PLANS_LOCK:
+            _PLANS.remove(plan)
+
+
+def active_plans() -> List[FaultPlan]:
+    with _PLANS_LOCK:
+        return list(_PLANS)
+
+
+class FaultyFile:
+    """A binary write handle that consults the injected fault plans."""
+
+    def __init__(self, handle: IO[bytes], target: str) -> None:
+        self._handle = handle
+        self._target = target
+
+    def write(self, data: bytes) -> int:
+        if _PLANS:
+            for plan in active_plans():
+                for fault in plan.take("file", self._target):
+                    self._apply(fault, data)
+        return self._handle.write(data)
+
+    def _apply(self, fault: Fault, data: bytes) -> None:
+        keep = max(0, min(fault.keep_bytes, len(data)))
+        if fault.kind == "enospc":
+            raise OSError(errno.ENOSPC,
+                          f"injected ENOSPC on {self._target}")
+        if fault.kind == "short_write":
+            if keep:
+                self._handle.write(data[:keep])
+                self._handle.flush()
+            raise OSError(errno.ENOSPC,
+                          f"injected short write ({keep}/{len(data)} "
+                          f"bytes) on {self._target}")
+        if fault.kind == "torn_write":
+            if keep:
+                self._handle.write(data[:keep])
+                self._handle.flush()
+            raise OSError(errno.EIO,
+                          f"injected torn write ({keep}/{len(data)} "
+                          f"bytes) on {self._target}")
+        raise OSError(errno.EIO,
+                      f"injected {fault.kind} on {self._target}")
+
+    # everything else passes through to the real handle
+    def __getattr__(self, name: str):
+        return getattr(self._handle, name)
+
+    def __enter__(self) -> "FaultyFile":
+        self._handle.__enter__()
+        return self
+
+    def __exit__(self, *exc: object):
+        return self._handle.__exit__(*exc)
+
+    def __iter__(self):
+        return iter(self._handle)
+
+
+def fault_open(path: Union[str, os.PathLike], mode: str = "rb",
+               **kwargs) -> IO[bytes]:
+    """``open`` that routes writable binary handles through the shim."""
+    handle = builtins.open(path, mode, **kwargs)
+    if "b" not in mode or not any(flag in mode for flag in "wax+"):
+        return handle
+    return FaultyFile(handle, str(path))

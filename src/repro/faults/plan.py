@@ -1,0 +1,131 @@
+"""``FaultPlan`` — a deterministic schedule of injectable faults.
+
+Each :class:`Fault` names a *seam* (where in the stack it fires), a
+*target* (which node/path/endpoint, substring-matched, ``"*"`` for
+any), and a 0-based operation index ``at`` on that fault's own match
+counter.  IO seams consume faults with :meth:`FaultPlan.take` — called
+once per operation, it advances the counters and returns the faults
+due *now* — while process-level drills read their scheduled events
+with :meth:`FaultPlan.events_at`, keyed by an explicit step number.
+
+Counters are per-fault, not global, so two faults aimed at different
+targets never perturb each other's timing; the whole plan is
+reproducible from its construction alone (the ``seed`` is carried for
+schedule builders and client jitter, never consulted by ``take``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["Fault", "FaultError", "FaultPlan", "FILE_KINDS",
+           "TRANSPORT_KINDS", "PROCESS_KINDS"]
+
+#: file-seam kinds (consumed by :mod:`repro.faults.files`)
+FILE_KINDS = ("enospc", "short_write", "torn_write")
+#: transport-seam kinds (consumed by :mod:`repro.faults.transport`);
+#: "refuse" applies to the connect seam, the rest to read/write
+TRANSPORT_KINDS = ("refuse", "reset", "latency", "stall", "drop")
+#: process-seam kinds (consumed by supervisor-level drills)
+PROCESS_KINDS = ("sigkill", "sigstop", "sigcont", "restart")
+
+_SEAMS = ("connect", "read", "write", "file", "process")
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One scheduled fault.
+
+    ``at`` is the 0-based index of the first matching operation the
+    fault fires on (or, for the process seam, the schedule step it is
+    due at); ``count`` extends it over that many consecutive matches.
+    ``delay`` is seconds for latency/stall kinds; ``keep_bytes`` is
+    how much of the buffer a short/torn write actually persists.
+    """
+
+    kind: str
+    seam: str
+    target: str = "*"
+    at: int = 0
+    count: int = 1
+    delay: float = 0.0
+    keep_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seam not in _SEAMS:
+            raise FaultError(
+                f"unknown seam {self.seam!r}; expected one of {_SEAMS}")
+        if self.at < 0 or self.count < 1:
+            raise FaultError(
+                f"fault needs at >= 0 and count >= 1, got "
+                f"at={self.at} count={self.count}")
+
+    def matches(self, target: str) -> bool:
+        return self.target == "*" or self.target in target
+
+
+@dataclass
+class FaultPlan:
+    """A reusable, thread-safe schedule of :class:`Fault` entries."""
+
+    faults: Sequence[Fault] = ()
+    seed: int = 0
+    _seen: Dict[int, int] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def __post_init__(self) -> None:
+        self.faults = tuple(self.faults)
+        self.fired = 0
+
+    # ------------------------------------------------------------------
+    # IO seams: counter-driven consumption
+    # ------------------------------------------------------------------
+    def take(self, seam: str, target: str) -> List[Fault]:
+        """Advance every matching fault's counter by one operation and
+        return the faults due on *this* operation (usually 0 or 1)."""
+        due: List[Fault] = []
+        with self._lock:
+            for index, fault in enumerate(self.faults):
+                if fault.seam != seam or not fault.matches(target):
+                    continue
+                op = self._seen.get(index, 0)
+                self._seen[index] = op + 1
+                if fault.at <= op < fault.at + fault.count:
+                    due.append(fault)
+                    self.fired += 1
+        return due
+
+    def pending(self, seam: str) -> bool:
+        """Whether any fault on ``seam`` has firings left (observability
+        for tests: a drained plan means the schedule fully executed)."""
+        with self._lock:
+            for index, fault in enumerate(self.faults):
+                if fault.seam != seam:
+                    continue
+                if self._seen.get(index, 0) < fault.at + fault.count:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # process seam: step-driven consumption
+    # ------------------------------------------------------------------
+    def events_at(self, step: int) -> List[Fault]:
+        """The process-seam faults scheduled for ``step`` (their ``at``
+        is a schedule step, not an operation counter)."""
+        return [fault for fault in self.faults
+                if fault.seam == "process" and fault.at == step]
+
+    def last_step(self) -> int:
+        """The highest scheduled process step (-1 when none)."""
+        steps = [fault.at for fault in self.faults
+                 if fault.seam == "process"]
+        return max(steps, default=-1)

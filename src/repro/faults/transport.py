@@ -1,0 +1,81 @@
+"""Transport-seam faults for the asyncio client and server.
+
+Server side, :class:`FaultyTransport` wraps the real
+``asyncio.Transport`` handed to a connection: every response ``write``
+consults the plan and can be delayed (``latency``/``stall``), dropped
+on the floor (``drop`` — the client sees a stall and times out), or
+turned into a hard reset (``reset`` aborts the socket mid-reply).
+
+Client side, :func:`apply_connect_faults` and :func:`apply_read_faults`
+are awaited at :class:`~repro.twemcache.async_client.AsyncSocketClient`
+dial and read points: ``refuse`` raises ``ConnectionRefusedError``
+before any bytes move, ``latency``/``stall`` sleep (a stall longer
+than the client timeout surfaces as ``TimeoutError`` upstream), and
+``reset`` raises ``ConnectionResetError`` as if the peer vanished.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultyTransport", "apply_connect_faults", "apply_read_faults"]
+
+
+class FaultyTransport:
+    """Wrap a server-side transport; faults fire on response writes."""
+
+    def __init__(self, transport: asyncio.Transport, plan: FaultPlan,
+                 target: str) -> None:
+        self._transport = transport
+        self._plan = plan
+        self._target = target
+
+    def write(self, data: bytes) -> None:
+        for fault in self._plan.take("write", self._target):
+            if fault.kind == "drop":
+                return
+            if fault.kind == "reset":
+                self._transport.abort()
+                return
+            if fault.kind in ("latency", "stall"):
+                loop = asyncio.get_event_loop()
+                loop.call_later(fault.delay, self._write_later, data)
+                return
+        self._transport.write(data)
+
+    def _write_later(self, data: bytes) -> None:
+        if not self._transport.is_closing():
+            self._transport.write(data)
+
+    def __getattr__(self, name: str):
+        return getattr(self._transport, name)
+
+
+async def apply_connect_faults(plan: Optional[FaultPlan],
+                               target: str) -> None:
+    """Run the connect-seam faults due for this dial (client side)."""
+    if plan is None:
+        return
+    for fault in plan.take("connect", target):
+        if fault.kind == "refuse":
+            raise ConnectionRefusedError(
+                errno.ECONNREFUSED, f"injected refusal dialing {target}")
+        if fault.kind in ("latency", "stall"):
+            await asyncio.sleep(fault.delay)
+
+
+async def apply_read_faults(plan: Optional[FaultPlan],
+                            target: str) -> None:
+    """Run the read-seam faults due before this read (client side)."""
+    if plan is None:
+        return
+    for fault in plan.take("read", target):
+        if fault.kind == "reset":
+            raise ConnectionResetError(
+                errno.ECONNRESET, f"injected reset reading {target}")
+        if fault.kind in ("latency", "stall"):
+            await asyncio.sleep(fault.delay)

@@ -29,6 +29,7 @@ import os
 import pathlib
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.faults.files import fault_open
 from repro.persistence.format import (
     LOG_MAGIC,
     PersistenceError,
@@ -86,7 +87,7 @@ class AppendOnlyLog:
         try:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             existing = self._path.stat().st_size if self._path.exists() else 0
-            self._handle = open(self._path, "ab")
+            self._handle = fault_open(self._path, "ab")
         except OSError as exc:
             raise PersistenceError(
                 f"cannot open operation log {self._path}: {exc}") from exc
@@ -102,7 +103,23 @@ class AppendOnlyLog:
     def append(self, operation: Dict[str, object]) -> None:
         if self._handle.closed:
             raise PersistenceError(f"log {self._path} is closed")
-        self._bytes += write_record(self._handle, operation)
+        offset = self._handle.tell()
+        try:
+            written = write_record(self._handle, operation)
+        except OSError as exc:
+            # a failed write (disk full, IO error) may have landed a
+            # torn frame; truncate back to the last clean boundary so
+            # the *next* append is readable — recovery's torn-tail
+            # repair covers the case where even the truncate fails
+            try:
+                self._handle.truncate(offset)
+                self._handle.seek(offset)   # realign tell() with EOF
+                self._handle.flush()
+            except OSError:
+                pass
+            raise PersistenceError(
+                f"cannot append to {self._path}: {exc}") from exc
+        self._bytes += written
         self._records += 1
         if self._fsync == "always":
             self._handle.flush()

@@ -26,6 +26,7 @@ import zlib
 from typing import IO, Callable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
+from repro.faults.files import fault_open
 
 __all__ = ["PersistenceError", "SnapshotCorruptError", "SNAPSHOT_MAGIC",
            "LOG_MAGIC", "write_magic", "read_magic", "write_record",
@@ -138,7 +139,7 @@ def atomic_write(path: Union[str, os.PathLike],
     final = pathlib.Path(path)
     temp = final.with_name(final.name + ".tmp")
     try:
-        with open(temp, "wb") as handle:
+        with fault_open(temp, "wb") as handle:
             writer(handle)
             handle.flush()
             os.fsync(handle.fileno())

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.faults.files import fault_open
 from repro.persistence.format import (
     PersistenceError,
     SnapshotCorruptError,
@@ -185,14 +186,16 @@ class DiskTier:
         if expire_at and self._clock() >= expire_at:
             self.expired += 1
             return False
-        existing = self._index.pop(key, None)
-        if existing is not None:
-            self._account_dead(existing)
         body = {"k": key, "s": size, "c": cost, "e": expire_at,
                 "w": self._clock(), "f": flags}
         if value is not None:
             body["v"] = encode_payload(value)
+        # append before superseding: a failed append (disk full) must
+        # leave any existing copy of the key live, not half-forgotten
         segment, offset = self._append(body, logical=size)
+        existing = self._index.pop(key, None)
+        if existing is not None:
+            self._account_dead(existing)
         self._index[key] = _IndexEntry(segment.segment_id, offset, size,
                                        cost, expire_at, flags,
                                        value is not None)
@@ -388,7 +391,7 @@ class DiskTier:
     def _open_segment(self, segment_id: int) -> _Segment:
         path = self._path_for(segment_id)
         try:
-            handle = open(path, "ab")
+            handle = fault_open(path, "ab")
             if handle.tell() == 0:
                 write_magic(handle, SEGMENT_MAGIC)
                 handle.flush()
@@ -426,6 +429,15 @@ class DiskTier:
             write_record(handle, body)
             handle.flush()
         except OSError as exc:
+            # scrub any torn frame so the segment stays scannable and
+            # the next append lands on a clean boundary; if even the
+            # truncate fails, recovery's torn-tail rule takes over
+            try:
+                handle.truncate(offset)
+                handle.seek(offset)   # realign tell() with the new EOF
+                handle.flush()
+            except OSError:
+                pass
             raise PersistenceError(
                 f"cannot append to {segment.path}: {exc}") from exc
         segment.written += logical

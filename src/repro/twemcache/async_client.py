@@ -20,6 +20,7 @@ import asyncio
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ProtocolError
+from repro.faults.transport import apply_connect_faults, apply_read_faults
 from repro.twemcache.client import _Value
 from repro.twemcache.protocol import (CRLF, chunk_get_keys, parse_number,
                                       parse_value_header)
@@ -35,14 +36,19 @@ _STREAM_LIMIT = 16 << 20
 class _Connection:
     """One pooled stream pair with response-parsing helpers."""
 
-    __slots__ = ("reader", "writer")
+    __slots__ = ("reader", "writer", "fault_plan", "fault_target")
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
+                 writer: asyncio.StreamWriter,
+                 fault_plan=None, fault_target: str = "") -> None:
         self.reader = reader
         self.writer = writer
+        self.fault_plan = fault_plan
+        self.fault_target = fault_target
 
     async def read_line(self) -> bytes:
+        # one read-seam fault opportunity per reply line
+        await apply_read_faults(self.fault_plan, self.fault_target)
         try:
             line = await self.reader.readuntil(CRLF)
         except asyncio.IncompleteReadError:
@@ -81,12 +87,17 @@ class AsyncSocketClient:
     """Pooled asyncio client for the memcached-style text protocol."""
 
     def __init__(self, address: Tuple[str, int], pool_size: int = 4,
-                 timeout: float = 10.0) -> None:
+                 timeout: float = 10.0, fault_plan=None) -> None:
+        """``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`)
+        injects connect/read faults deterministically — tests and chaos
+        drills only; None (the default) adds no overhead."""
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         self._address = address
         self._pool_size = pool_size
         self._timeout = timeout
+        self._fault_plan = fault_plan
+        self._fault_target = f"{address[0]}:{address[1]}"
         self._idle: List[_Connection] = []
         self._all: List[_Connection] = []
         self._available = asyncio.Semaphore(pool_size)
@@ -101,10 +112,12 @@ class AsyncSocketClient:
     # ------------------------------------------------------------------
     async def _connect(self) -> _Connection:
         host, port = self._address
+        await apply_connect_faults(self._fault_plan, self._fault_target)
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port, limit=_STREAM_LIMIT),
             timeout=self._timeout)
-        conn = _Connection(reader, writer)
+        conn = _Connection(reader, writer, self._fault_plan,
+                           self._fault_target)
         self._all.append(conn)
         return conn
 
@@ -187,7 +200,12 @@ class AsyncSocketClient:
             for _ in chunks:
                 await asyncio.wait_for(conn.read_values(out),
                                        timeout=self._timeout)
-        except Exception:
+        except BaseException:
+            # BaseException, not Exception: CancelledError (an outer
+            # wait_for / deadline budget expiring mid-read) must also
+            # discard the connection — its unread reply bytes would
+            # poison the next caller — and hand the permit back, or the
+            # pool wedges one permit at a time
             self._release(conn, broken=True)
             raise
         self._release(conn)
@@ -214,7 +232,8 @@ class AsyncSocketClient:
             await conn.writer.drain()
             reply = await asyncio.wait_for(conn.read_line(),
                                            timeout=self._timeout)
-        except Exception:
+        except BaseException:
+            # includes CancelledError — see get_map
             self._release(conn, broken=True)
             raise
         self._release(conn)
@@ -308,9 +327,10 @@ class AsyncSocketClient:
         try:
             results = await asyncio.wait_for(
                 asyncio.gather(*tasks), timeout=self._timeout * len(shards))
-        except Exception:
-            # quiesce sibling shards before tearing their sockets down,
-            # or they raise into the void mid-read
+        except BaseException:
+            # BaseException so an outer cancellation also reaches the
+            # cleanup below; quiesce sibling shards before tearing
+            # their sockets down, or they raise into the void mid-read
             for task in tasks:
                 task.cancel()
             await asyncio.gather(*tasks, return_exceptions=True)
@@ -344,7 +364,42 @@ class AsyncSocketClient:
                     raise ProtocolError(f"unexpected reply {line!r}")
                 _, name, value_text = line.decode().split(" ", 2)
                 out[name] = parse_number(value_text, "stat")
-        except Exception:
+        except BaseException:
+            # includes CancelledError — see get_map
+            self._release(conn, broken=True)
+            raise
+        self._release(conn)
+        return out
+
+    async def digest(self, prefix: str = "") -> Dict[str, Tuple[Number,
+                                                                int]]:
+        """Fetch the node's anti-entropy summary: key → (cost, crc32).
+
+        The cluster sweep diffs these across a key's replica holders;
+        only keys whose pairs disagree cost a value transfer."""
+        command = (f"digest {prefix}" if prefix else "digest").encode()
+        conn = await self._acquire()
+        try:
+            conn.writer.write(command + CRLF)
+            await conn.writer.drain()
+            out: Dict[str, Tuple[Number, int]] = {}
+            while True:
+                line = await asyncio.wait_for(conn.read_line(),
+                                              timeout=self._timeout)
+                if line == b"END":
+                    break
+                if not line.startswith(b"DIGEST "):
+                    raise ProtocolError(f"unexpected reply {line!r}")
+                try:
+                    _, key, cost_text, crc_text = \
+                        line.decode().split(" ", 3)
+                    out[key] = (parse_number(cost_text, "cost"),
+                                int(crc_text))
+                except ValueError:
+                    raise ProtocolError(
+                        f"malformed DIGEST line: {line!r}") from None
+        except BaseException:
+            # includes CancelledError — see get_map
             self._release(conn, broken=True)
             raise
         self._release(conn)

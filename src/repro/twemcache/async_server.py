@@ -35,6 +35,7 @@ import threading
 from typing import Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults.transport import FaultyTransport
 from repro.twemcache.protocol import ServerSession
 
 __all__ = ["AsyncTwemcacheServer"]
@@ -43,15 +44,25 @@ __all__ = ["AsyncTwemcacheServer"]
 class _Connection(asyncio.Protocol):
     """One client socket: bytes → ServerSession → batched response."""
 
-    __slots__ = ("_server", "_session", "_transport")
+    __slots__ = ("_server", "_session", "_transport", "_raw_transport")
 
     def __init__(self, server: "AsyncTwemcacheServer") -> None:
         self._server = server
         self._session: Optional[ServerSession] = None
         self._transport: Optional[asyncio.Transport] = None
+        self._raw_transport: Optional[asyncio.Transport] = None
 
     def connection_made(self, transport) -> None:
-        self._transport = transport
+        self._raw_transport = transport
+        plan = self._server._fault_plan
+        if plan is not None:
+            # responses route through the write-seam faults (latency,
+            # drop, reset); the raw transport still registers below so
+            # drain/close bookkeeping is untouched
+            self._transport = FaultyTransport(
+                transport, plan, self._server._fault_target)
+        else:
+            self._transport = transport
         self._session = ServerSession(self._server.engine)
         self._server._transports.add(transport)
         self._server.connections_served += 1
@@ -65,18 +76,25 @@ class _Connection(asyncio.Protocol):
             self._transport.close()
 
     def connection_lost(self, exc) -> None:
-        if self._transport is not None:
-            self._server._transports.discard(self._transport)
+        if self._raw_transport is not None:
+            self._server._transports.discard(self._raw_transport)
 
 
 class AsyncTwemcacheServer:
     """Pipelined asyncio server over any engine duck type."""
 
     def __init__(self, engine, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, fault_plan=None,
+                 fault_target: str = "server") -> None:
+        """``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`)
+        wraps every accepted connection's transport so response writes
+        can be delayed, dropped, or turned into resets — tests and
+        chaos drills only; None (the default) serves unwrapped."""
         self._engine = engine
         self._host = host
         self._port = port
+        self._fault_plan = fault_plan
+        self._fault_target = fault_target
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None

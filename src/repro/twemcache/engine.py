@@ -34,6 +34,7 @@ import pathlib
 import random
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Union
 
@@ -740,6 +741,27 @@ class TwemcacheEngine:
                 stats["tier_promotions_rejected"] = \
                     self.tier_promotions_rejected
             return stats
+
+    def digest(self, prefix: str = "") -> Dict[str, tuple]:
+        """Key → ``(cost, crc32(value))`` over the live DRAM items.
+
+        The anti-entropy summary behind the wire's ``digest`` verb:
+        cheap enough to compute under the lock (one crc32 per item, no
+        copies), rich enough that two replicas agreeing on every
+        ``(cost, crc)`` pair are byte-identical for cluster purposes —
+        value bytes *and* the CAMP cost a re-store must piggyback.
+        ``prefix`` narrows the summary to matching keys.
+        """
+        with self._lock:
+            now = self._clock()
+            out: Dict[str, tuple] = {}
+            for key, item in self._items.items():
+                if prefix and not key.startswith(prefix):
+                    continue
+                if item.expire_at and item.expired(now):
+                    continue
+                out[key] = (item.cost, zlib.crc32(item.value))
+            return out
 
     def check_consistency(self) -> None:
         """Items, policies and allocator agree (test hook)."""

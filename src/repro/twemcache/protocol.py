@@ -28,6 +28,12 @@ Implemented subset (requests end with CRLF; values are raw bytes):
   verb (Redis's ``SAVE`` analogue): snapshot every live item to the
   engine's configured snapshot path.  The path is server-side
   configuration, never taken from the wire.
+* ``digest [<prefix>]`` → ``DIGEST <key> <cost> <crc>`` lines then
+  ``END`` — a key→(CAMP cost, crc32-of-value) summary of the live
+  items (optionally only keys starting with *prefix*).  This is the
+  anti-entropy verb: a cluster sweep fetches digests from every
+  replica holder, diffs them pairwise, and re-replicates divergent
+  pairs without transferring any values for the keys that agree.
 * ``stats`` → ``STAT <name> <value>`` lines then ``END``
 * ``version``, ``quit``
 
@@ -57,8 +63,8 @@ from typing import Iterator, List, Optional, Tuple, Union
 from repro.errors import ProtocolError, ReproError
 
 __all__ = ["Request", "CRLF", "parse_command_line", "render_value",
-           "render_stats", "parse_number", "parse_value_header",
-           "chunk_get_keys", "Command", "Reply",
+           "render_stats", "render_digest", "parse_number",
+           "parse_value_header", "chunk_get_keys", "Command", "Reply",
            "ProtocolSession", "ServerSession", "execute_command",
            "MAX_LINE_BYTES"]
 
@@ -189,6 +195,10 @@ def parse_command_line(line: bytes) -> Request:
             raise ProtocolError("touch requires: key exptime")
         exptime = float(parse_number(parts[2], "exptime"))
         return Request(command="touch", keys=[parts[1]], exptime=exptime)
+    if command == "digest":
+        if len(parts) > 2:
+            raise ProtocolError("digest takes at most one prefix")
+        return Request(command="digest", keys=parts[1:])
     if command in ("stats", "version", "quit", "flush_all", "save"):
         if len(parts) != 1:
             raise ProtocolError(f"{command} takes no arguments")
@@ -252,6 +262,15 @@ def render_stats(stats: dict) -> bytes:
     lines = b""
     for name in sorted(stats):
         lines += f"STAT {name} {stats[name]}".encode("utf-8") + CRLF
+    return lines + b"END" + CRLF
+
+
+def render_digest(digest: dict) -> bytes:
+    """``DIGEST <key> <cost> <crc>`` lines (sorted) then ``END``."""
+    lines = b""
+    for key in sorted(digest):
+        cost, crc = digest[key]
+        lines += f"DIGEST {key} {cost} {crc}".encode("utf-8") + CRLF
     return lines + b"END" + CRLF
 
 
@@ -446,6 +465,12 @@ def execute_command(engine, command: Command) -> Reply:
         except ReproError as exc:
             return Reply(f"SERVER_ERROR {exc}".encode() + CRLF)
         return Reply(b"OK" + CRLF)
+    if name == "digest":
+        summarize = getattr(engine, "digest", None)
+        if summarize is None:
+            return Reply(b"SERVER_ERROR digest unsupported" + CRLF)
+        prefix = request.keys[0] if request.keys else ""
+        return Reply(render_digest(summarize(prefix)))
     # parse_command_line only produces the commands handled above
     raise ProtocolError(f"unroutable command {name!r}")  # pragma: no cover
 

@@ -15,6 +15,7 @@ from repro.cluster import CooperativeCluster
 from repro.core import LruPolicy, make_policy
 from repro.core.policy import EvictionPolicy
 from repro.errors import ProtocolError, ReproError
+from repro.faults import Fault, FaultPlan, inject
 from repro.persistence import (
     AppendOnlyLog,
     PersistenceError,
@@ -23,6 +24,7 @@ from repro.persistence import (
     log_path_for,
     snapshot_generations,
 )
+from repro.tiering import DiskTier
 from repro.twemcache import SocketClient, TwemcacheEngine, TwemcacheServer
 
 
@@ -257,6 +259,91 @@ class TestPersistenceFailures:
         assert warm.last_recovery.generation == generation - 1
         assert "a" in warm
         warm.persistence.close()
+
+
+class TestInjectedDiskFaults:
+    """Disk faults through the :mod:`repro.faults` file shim: ENOSPC
+    and short writes on every append/publish path must fail cleanly
+    (an exception, never silent loss), leave prior durable state
+    intact, and succeed on the next attempt once the fault clears."""
+
+    def _snapshot_once(self, tmp_path, keys=20):
+        kvs = KVS(10_000, make_policy("camp", 10_000))
+        for i in range(keys):
+            kvs.insert(f"k{i}", 40, 10)
+        Snapshotter(tmp_path).save(kvs)
+        return kvs
+
+    @pytest.mark.parametrize("fault", [
+        Fault(kind="enospc", seam="file", target="snap"),
+        Fault(kind="short_write", seam="file", target="snap",
+              keep_bytes=16),
+    ])
+    def test_snapshot_write_fault_keeps_prior_generation(self, tmp_path,
+                                                         fault):
+        original = self._snapshot_once(tmp_path)
+        with inject(FaultPlan([fault])):
+            with pytest.raises(PersistenceError):
+                Snapshotter(tmp_path).save(original)
+        # generation 1 stays authoritative; no temp orphan left behind
+        assert snapshot_generations(tmp_path) == [1]
+        assert not list(tmp_path.glob("*.tmp"))
+        target = KVS(10_000, make_policy("camp", 10_000))
+        assert RecoveryManager(tmp_path).recover_into(target).generation == 1
+        assert len(target) == len(original)
+        # the disk "frees up": the very next save publishes generation 2
+        Snapshotter(tmp_path).save(original)
+        assert 2 in snapshot_generations(tmp_path)
+
+    @pytest.mark.parametrize("fault", [
+        Fault(kind="enospc", seam="file", target="aol"),
+        Fault(kind="short_write", seam="file", target="aol",
+              keep_bytes=5),
+    ])
+    def test_aol_append_fault_fails_cleanly_and_recovers(self, tmp_path,
+                                                         fault):
+        self._snapshot_once(tmp_path)
+        log_path = log_path_for(tmp_path, 1)
+        with AppendOnlyLog(log_path) as log:
+            log.log_insert("pre", 40, 10)
+            with inject(FaultPlan([fault])):
+                with pytest.raises(PersistenceError):
+                    log.log_insert("doomed", 40, 10)
+            # the failed append truncated its torn frame: the next
+            # append lands on a clean boundary and replays whole
+            log.log_insert("post", 40, 10)
+        target = KVS(10_000, make_policy("camp", 10_000))
+        report = RecoveryManager(tmp_path).recover_into(target)
+        assert not report.torn_tail_truncated
+        assert report.log_records_replayed == 2
+        assert "pre" in target and "post" in target
+        assert "doomed" not in target
+
+    @pytest.mark.parametrize("fault", [
+        Fault(kind="enospc", seam="file", target="segment"),
+        Fault(kind="short_write", seam="file", target="segment",
+              keep_bytes=7),
+    ])
+    def test_disk_tier_append_fault_keeps_prior_copy_live(self, tmp_path,
+                                                          fault):
+        tier = DiskTier(tmp_path, capacity_bytes=1 << 20,
+                        segment_bytes=1 << 16)
+        assert tier.put("stable", b"v1" * 20, size=60, cost=5)
+        with inject(FaultPlan([fault])):
+            with pytest.raises(PersistenceError):
+                tier.put("stable", b"v2" * 20, size=60, cost=5)
+        # the failed supersede left the original record live...
+        record = tier.get("stable")
+        assert record is not None and record.value == b"v1" * 20
+        # ...the segment file is clean (no torn frame), so a cold
+        # recovery adopts it...
+        rebuilt = DiskTier(tmp_path, capacity_bytes=1 << 20,
+                           segment_bytes=1 << 16)
+        survivor = rebuilt.get("stable")
+        assert survivor is not None and survivor.value == b"v1" * 20
+        # ...and the next append on the original tier goes through
+        assert tier.put("stable", b"v3" * 20, size=60, cost=5)
+        assert tier.get("stable").value == b"v3" * 20
 
 
 class TestClusterNodeLoss:

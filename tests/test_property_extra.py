@@ -23,7 +23,8 @@ class TestProtocolFuzz:
             return
         assert request.command in {"get", "set", "add", "replace", "delete",
                                    "incr", "decr", "touch", "stats",
-                                   "version", "quit", "flush_all", "save"}
+                                   "version", "quit", "flush_all", "save",
+                                   "digest"}
 
     @settings(max_examples=100, deadline=None)
     @given(key=st.text(alphabet=st.characters(min_codepoint=33,
